@@ -1,0 +1,273 @@
+// Command alpusim reruns the paper's simulation experiments and prints
+// the series behind each figure and table.
+//
+// Experiments (-experiment):
+//
+//	tab3           print the Table III processor parameters in use
+//	tab4, tab5     the FPGA prototype tables (see also cmd/fpgareport)
+//	fig5-baseline  latency surface, baseline NIC (Fig. 5a/b)
+//	fig5-alpu128   latency surface, NIC + 128-entry ALPU (Fig. 5c/d)
+//	fig5-alpu256   latency surface, NIC + 256-entry ALPU (Fig. 5e/f)
+//	fig6           unexpected-queue latency series, all 3 NICs (Fig. 6)
+//	anchors        the §VI-B/§VI-C text anchors, measured vs published
+//	all            everything above
+//
+// Flags: -quick shrinks the sweeps (~10x faster), -format csv emits
+// machine-readable series instead of tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"alpusim/internal/alpu"
+	"alpusim/internal/bench"
+	"alpusim/internal/fpga"
+	"alpusim/internal/params"
+	"alpusim/internal/stats"
+)
+
+var (
+	experiment = flag.String("experiment", "all", "which experiment to run (see doc)")
+	quick      = flag.Bool("quick", false, "reduced sweeps")
+	format     = flag.String("format", "table", "output format: table or csv")
+	msgSize    = flag.Int("size", 0, "message payload bytes for fig5/fig6")
+)
+
+func main() {
+	flag.Parse()
+	switch *experiment {
+	case "tab3":
+		tab3()
+	case "tab4":
+		fpgaTable(alpu.PostedReceives)
+	case "tab5":
+		fpgaTable(alpu.UnexpectedMessages)
+	case "fig5-baseline":
+		fig5(bench.Baseline)
+	case "fig5-alpu128":
+		fig5(bench.ALPU128)
+	case "fig5-alpu256":
+		fig5(bench.ALPU256)
+	case "fig6":
+		fig6()
+	case "gap":
+		gapExp()
+	case "anchors":
+		anchors()
+	case "all":
+		tab3()
+		fpgaTable(alpu.PostedReceives)
+		fpgaTable(alpu.UnexpectedMessages)
+		fig5(bench.Baseline)
+		fig5(bench.ALPU128)
+		fig5(bench.ALPU256)
+		fig6()
+		gapExp()
+		anchors()
+	default:
+		fmt.Fprintf(os.Stderr, "alpusim: unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(1)
+	}
+}
+
+func queueLens() []int {
+	if *quick {
+		return []int{0, 50, 100, 200, 300, 400, 500}
+	}
+	out := []int{0}
+	for q := 25; q <= 500; q += 25 {
+		out = append(out, q)
+	}
+	return out
+}
+
+func fracs() []float64 {
+	if *quick {
+		return []float64{0, 0.5, 1.0}
+	}
+	return []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+}
+
+func unexpLens() []int {
+	if *quick {
+		return []int{0, 50, 100, 200, 300, 400, 500}
+	}
+	out := []int{0, 10, 25}
+	for u := 50; u <= 500; u += 25 {
+		out = append(out, u)
+	}
+	return out
+}
+
+func tab3() {
+	fmt.Println("Table III: processor simulation parameters (in use)")
+	tb := stats.NewTable("Parameter", "CPU", "NIC Processor")
+	host, nicCPU := params.HostCPU(), params.NICCPU()
+	tb.AddRow("Clock Speed", fmt.Sprintf("%.0f MHz", host.Clock.Freq()), fmt.Sprintf("%.0f MHz", nicCPU.Clock.Freq()))
+	tb.AddRow("L1 Cache", fmt.Sprintf("%dK %d-way", host.L1Size>>10, host.L1Assoc), fmt.Sprintf("%dK %d-way", nicCPU.L1Size>>10, nicCPU.L1Assoc))
+	tb.AddRow("L2 Cache", fmt.Sprintf("%dK", host.L2Size>>10), "none")
+	tb.AddRow("Lat. To Main Memory", fmt.Sprintf("%d cycles", host.MemLatency), fmt.Sprintf("%d cycles", nicCPU.MemLatency))
+	tb.AddRow("Network Wire Lat.", params.WireLatency.String(), "")
+	tb.AddRow("NIC local bus", "", params.NICBusDelay.String())
+	tb.Render(os.Stdout)
+	fmt.Println()
+}
+
+func fpgaTable(v alpu.Variant) {
+	name := "Table IV (posted receives ALPU)"
+	if v == alpu.UnexpectedMessages {
+		name = "Table V (unexpected messages ALPU)"
+	}
+	fmt.Println(name)
+	tb := stats.NewTable("Cells", "Block", "LUTs", "FFs", "Slices", "MHz", "Latency")
+	for _, pub := range fpga.PublishedFor(v) {
+		e := fpga.PrototypeParams(v, pub.Cells, pub.BlockSize).Estimate()
+		tb.AddRow(pub.Cells, pub.BlockSize, e.LUTs, e.FFs, e.Slices, e.FreqMHz, e.LatencyCycles)
+	}
+	tb.Render(os.Stdout)
+	fmt.Println("(run cmd/fpgareport for the side-by-side comparison with the published values)")
+	fmt.Println()
+}
+
+func fig5(kind bench.NICKind) {
+	fmt.Printf("Fig. 5 surface: %s NIC, %d-byte messages (one-way latency, ns)\n", kind, *msgSize)
+	pts := bench.RunPreposted(bench.PrepostedConfig{
+		NIC:       bench.NICConfig(kind),
+		QueueLens: queueLens(),
+		Fracs:     fracs(),
+		MsgSize:   *msgSize,
+	})
+	if *format == "csv" {
+		rows := make([][]any, 0, len(pts))
+		for _, p := range pts {
+			rows = append(rows, []any{p.QueueLen, p.Traversed, p.MsgSize, p.Latency.Nanoseconds()})
+		}
+		stats.CSV(os.Stdout, []string{"queue_len", "traversed", "msg_size", "latency_ns"}, rows)
+		fmt.Println()
+		return
+	}
+	// Render as queue-length x fraction grid (the 3D surface flattened).
+	byQ := map[int]map[float64]bench.PrepostedPoint{}
+	for _, p := range pts {
+		if byQ[p.QueueLen] == nil {
+			byQ[p.QueueLen] = map[float64]bench.PrepostedPoint{}
+		}
+		byQ[p.QueueLen][p.Frac] = p
+	}
+	header := []any{"Q \\ frac"}
+	for _, f := range fracs() {
+		header = append(header, fmt.Sprintf("%.0f%%", f*100))
+	}
+	hs := make([]string, len(header))
+	for i, h := range header {
+		hs[i] = fmt.Sprint(h)
+	}
+	tb := stats.NewTable(hs...)
+	for _, q := range queueLens() {
+		row := []any{q}
+		for _, f := range fracs() {
+			if p, ok := byQ[q][f]; ok {
+				row = append(row, fmt.Sprintf("%.0f", p.Latency.Nanoseconds()))
+			} else {
+				row = append(row, "·") // aliased with a smaller fraction
+			}
+		}
+		tb.AddRow(row...)
+	}
+	tb.Render(os.Stdout)
+	fmt.Println()
+}
+
+func fig6() {
+	fmt.Printf("Fig. 6: unexpected queue latency, %d-byte messages (ns)\n", *msgSize)
+	series := map[bench.NICKind][]bench.UnexpectedPoint{}
+	kinds := []bench.NICKind{bench.Baseline, bench.ALPU128, bench.ALPU256}
+	for _, k := range kinds {
+		series[k] = bench.RunUnexpected(bench.UnexpectedConfig{
+			NIC:       bench.NICConfig(k),
+			QueueLens: unexpLens(),
+			MsgSize:   *msgSize,
+		})
+	}
+	if *format == "csv" {
+		rows := make([][]any, 0)
+		for i, u := range unexpLens() {
+			rows = append(rows, []any{u,
+				series[bench.Baseline][i].Latency.Nanoseconds(),
+				series[bench.ALPU128][i].Latency.Nanoseconds(),
+				series[bench.ALPU256][i].Latency.Nanoseconds()})
+		}
+		stats.CSV(os.Stdout, []string{"queue_len", "baseline_ns", "alpu128_ns", "alpu256_ns"}, rows)
+		fmt.Println()
+		return
+	}
+	tb := stats.NewTable("Unexpected Q", "baseline", "alpu-128", "alpu-256")
+	for i, u := range unexpLens() {
+		tb.AddRow(u,
+			fmt.Sprintf("%.0f", series[bench.Baseline][i].Latency.Nanoseconds()),
+			fmt.Sprintf("%.0f", series[bench.ALPU128][i].Latency.Nanoseconds()),
+			fmt.Sprintf("%.0f", series[bench.ALPU256][i].Latency.Nanoseconds()))
+	}
+	tb.Render(os.Stdout)
+	fmt.Println()
+}
+
+// gapExp reports the message-rate study behind the paper's §I gap
+// motivation, including the §VI-B Quadrics Elan4 comparison point.
+func gapExp() {
+	fmt.Println("Gap (inverse message rate) vs. match depth, plus the Elan4-class comparison")
+	depths := []int{0, 25, 50, 100, 150, 200}
+	if *quick {
+		depths = []int{0, 50, 150}
+	}
+	series := map[string][]bench.GapPoint{}
+	order := []string{"baseline", "alpu-128", "alpu-256", "elan4-class"}
+	series["baseline"] = bench.RunGap(bench.GapConfig{NIC: bench.NICConfig(bench.Baseline), Depths: depths})
+	series["alpu-128"] = bench.RunGap(bench.GapConfig{NIC: bench.NICConfig(bench.ALPU128), Depths: depths})
+	series["alpu-256"] = bench.RunGap(bench.GapConfig{NIC: bench.NICConfig(bench.ALPU256), Depths: depths})
+	series["elan4-class"] = bench.RunGap(bench.GapConfig{NIC: bench.ElanNICConfig(), Depths: depths})
+
+	tb := stats.NewTable("depth", "baseline ns/msg", "alpu-128", "alpu-256", "elan4-class")
+	for i, d := range depths {
+		row := []any{d}
+		for _, k := range order {
+			row = append(row, fmt.Sprintf("%.0f", series[k][i].NsPerMsg))
+		}
+		tb.AddRow(row...)
+	}
+	tb.Render(os.Stdout)
+	fmt.Println()
+}
+
+func anchors() {
+	fmt.Println("Measured vs published anchors (§VI-B, §VI-C)")
+	qls := []int{0, 5, 25, 50, 100, 150, 200, 350, 400, 450, 500}
+	base := bench.RunPreposted(bench.PrepostedConfig{
+		NIC: bench.NICConfig(bench.Baseline), QueueLens: qls, Fracs: []float64{0.8, 1.0},
+	})
+	al := bench.RunPreposted(bench.PrepostedConfig{
+		NIC: bench.NICConfig(bench.ALPU256), QueueLens: qls, Fracs: []float64{1.0},
+	})
+	a5 := bench.ExtractFig5(base, al, 256)
+
+	uls := []int{0, 25, 50, 60, 70, 80, 90, 100, 150}
+	b6 := bench.RunUnexpected(bench.UnexpectedConfig{NIC: bench.NICConfig(bench.Baseline), QueueLens: uls})
+	a6x := bench.RunUnexpected(bench.UnexpectedConfig{NIC: bench.NICConfig(bench.ALPU256), QueueLens: uls})
+	a6 := bench.ExtractFig6(b6, a6x)
+
+	tb := stats.NewTable("Anchor", "Paper", "Measured")
+	tb.AddRow("per-entry traversal, in cache", "~15 ns", fmt.Sprintf("%.1f ns", a5.InCacheNsPerEntry))
+	tb.AddRow("per-entry traversal, out of cache", "~64 ns", fmt.Sprintf("%.1f ns", a5.OutOfCacheNsPerEntry))
+	tb.AddRow("full 400-entry traversal", "~13 us", fmt.Sprintf("%.1f us", a5.Full400TraversalUs))
+	tb.AddRow("80% of 500-entry traversal", "~24 us", fmt.Sprintf("%.1f us", a5.Traverse80Of500Us))
+	tb.AddRow("ALPU zero-queue penalty", "~80 ns", fmt.Sprintf("%.0f ns", a5.PenaltyNs))
+	tb.AddRow("ALPU break-even queue length", "~5", fmt.Sprintf("%.1f", a5.BreakEvenEntries))
+	tb.AddRow("ALPU-256 flat until", "~256", fmt.Sprintf("%d", a5.FlatUntil))
+	tb.AddRow("unexpected: ALPU short-queue loss", "tens of ns", fmt.Sprintf("%.0f ns", a6.ShortQueueLossNs))
+	tb.AddRow("unexpected: crossover", "~70", fmt.Sprintf("%d", a6.CrossoverEntries))
+	tb.Render(os.Stdout)
+	fmt.Println()
+}

@@ -1,0 +1,111 @@
+// Command fpgareport regenerates the paper's Tables IV and V (sizes and
+// speeds of the posted-receive and unexpected-message ALPU prototypes on a
+// Virtex-II Pro 100 -5) from the structural estimator, printing each
+// estimate next to the published value and the relative error.
+//
+// Usage:
+//
+//	fpgareport [-cells 128,256] [-blocks 8,16,32] [-asic]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"alpusim/internal/alpu"
+	"alpusim/internal/fpga"
+	"alpusim/internal/stats"
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	cells := flag.String("cells", "256,128", "comma-separated total cell counts")
+	blocks := flag.String("blocks", "8,16,32", "comma-separated block sizes")
+	asic := flag.Bool("asic", false, "also print the projected ASIC clock (5x, §VI-A)")
+	flag.Parse()
+
+	cellList, err := parseInts(*cells)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpgareport: bad -cells:", err)
+		os.Exit(1)
+	}
+	blockList, err := parseInts(*blocks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpgareport: bad -blocks:", err)
+		os.Exit(1)
+	}
+
+	for _, v := range []alpu.Variant{alpu.PostedReceives, alpu.UnexpectedMessages} {
+		table := "Table IV (posted receives ALPU)"
+		if v == alpu.UnexpectedMessages {
+			table = "Table V (unexpected messages ALPU)"
+		}
+		fmt.Println(table)
+		header := []string{"Cells", "Block", "LUTs", "FFs", "Slices", "MHz", "Lat"}
+		if *asic {
+			header = append(header, "ASIC MHz")
+		}
+		header = append(header, "paper LUTs/FFs/Slices/MHz/Lat", "max err")
+		tb := stats.NewTable(header...)
+		for _, c := range cellList {
+			for _, b := range blockList {
+				p := fpga.PrototypeParams(v, c, b)
+				if err := p.Geometry.Validate(); err != nil {
+					fmt.Fprintln(os.Stderr, "fpgareport:", err)
+					os.Exit(1)
+				}
+				e := p.Estimate()
+				row := []any{c, b, e.LUTs, e.FFs, e.Slices, e.FreqMHz, e.LatencyCycles}
+				if *asic {
+					row = append(row, e.ASICFreqMHz())
+				}
+				pub, maxErr := published(v, c, b, e)
+				row = append(row, pub, maxErr)
+				tb.AddRow(row...)
+			}
+		}
+		tb.Render(os.Stdout)
+		fmt.Println()
+	}
+}
+
+// published returns the paper's row (when this build point was published)
+// and the largest relative error across the resource columns.
+func published(v alpu.Variant, cells, block int, e fpga.Estimate) (string, string) {
+	for _, pub := range fpga.PublishedFor(v) {
+		if pub.Cells != cells || pub.BlockSize != block {
+			continue
+		}
+		maxErr := 0.0
+		for _, pair := range [][2]int{{e.LUTs, pub.LUTs}, {e.FFs, pub.FFs}, {e.Slices, pub.Slices}} {
+			err := 100 * abs(float64(pair[0]-pair[1])) / float64(pair[1])
+			if err > maxErr {
+				maxErr = err
+			}
+		}
+		return fmt.Sprintf("%d/%d/%d/%.1f/%d", pub.LUTs, pub.FFs, pub.Slices, pub.FreqMHz, pub.LatencyCycles),
+			fmt.Sprintf("%.1f%%", maxErr)
+	}
+	return "(not prototyped in the paper)", "-"
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

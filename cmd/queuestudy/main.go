@@ -1,0 +1,95 @@
+// Command queuestudy reruns the style of application queue study that
+// motivated the ALPU (the paper's §I-II, following refs [8] and [9]):
+// for a set of application patterns and process counts, it reports how
+// deep the MPI queues grow, where matches land in them, and what the
+// ALPU does to traversal work and completion time.
+//
+//	queuestudy [-ranks 4,8,16] [-workload all|halo|master|storm|sweep|irregular] [-cells 128]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"alpusim/internal/nic"
+	"alpusim/internal/stats"
+	"alpusim/internal/workloads"
+)
+
+var (
+	ranksFlag = flag.String("ranks", "4,8,16", "comma-separated process counts")
+	workload  = flag.String("workload", "all", "halo, master, storm, sweep, irregular, or all")
+	cells     = flag.Int("cells", 128, "ALPU cells for the accelerated runs")
+)
+
+type runner struct {
+	name string
+	run  func(cfg nic.Config, ranks int) workloads.Report
+}
+
+func runners() []runner {
+	return []runner{
+		{"halo", func(cfg nic.Config, n int) workloads.Report {
+			return workloads.Halo(cfg, n, 10, 1024, 5)
+		}},
+		{"master", func(cfg nic.Config, n int) workloads.Report {
+			return workloads.MasterWorker(cfg, n, 4, 256, 3)
+		}},
+		{"storm", func(cfg nic.Config, n int) workloads.Report {
+			return workloads.UnexpectedStorm(cfg, n, 30, 64)
+		}},
+		{"sweep", func(cfg nic.Config, n int) workloads.Report {
+			return workloads.Sweep(cfg, n, 4, 512)
+		}},
+		{"irregular", func(cfg nic.Config, n int) workloads.Report {
+			return workloads.Irregular(cfg, n, 4, 3, 128, 7)
+		}},
+	}
+}
+
+func main() {
+	flag.Parse()
+	var ranks []int
+	for _, part := range strings.Split(*ranksFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 2 {
+			fmt.Fprintln(os.Stderr, "queuestudy: bad -ranks")
+			os.Exit(1)
+		}
+		ranks = append(ranks, v)
+	}
+
+	fmt.Printf("Application queue study (refs [8]/[9] methodology), ALPU cells=%d\n\n", *cells)
+	tb := stats.NewTable("workload", "ranks",
+		"peak posted", "peak unexp", "match depth p50/p99/max",
+		"traversed base", "traversed alpu", "elapsed base", "elapsed alpu", "speedup")
+
+	for _, r := range runners() {
+		if *workload != "all" && *workload != r.name {
+			continue
+		}
+		for _, n := range ranks {
+			base := r.run(nic.Config{}, n)
+			accel := r.run(nic.Config{UseALPU: true, Cells: *cells}, n)
+			depths := base.PostedDepths
+			depths.Merge(&base.UnexpDepths)
+			speedup := float64(base.Elapsed) / float64(accel.Elapsed)
+			tb.AddRow(r.name, n,
+				base.PeakPosted, base.PeakUnexp,
+				fmt.Sprintf("%d/%d/%d", depths.Percentile(0.5), depths.Percentile(0.99), depths.Max()),
+				base.EntriesTraversed, accel.EntriesTraversed,
+				fmt.Sprintf("%.1fus", base.Elapsed.Microseconds()),
+				fmt.Sprintf("%.1fus", accel.Elapsed.Microseconds()),
+				fmt.Sprintf("%.2fx", speedup))
+		}
+	}
+	tb.Render(os.Stdout)
+	fmt.Println()
+	fmt.Println("Reading the table: queue depth and match depth grow with the process")
+	fmt.Println("count for manager/worker and storm patterns (the paper's motivation);")
+	fmt.Println("the ALPU collapses software traversals and pays off exactly there,")
+	fmt.Println("while staying near-neutral for short-queue nearest-neighbour codes.")
+}

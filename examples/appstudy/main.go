@@ -1,0 +1,67 @@
+// Appstudy reproduces the motivation study behind the ALPU (the paper's
+// §I-II, after refs [8] and [9]) at example scale: run three application
+// patterns, watch the MPI queues grow with the process count, and see
+// where the accelerator pays.
+//
+//	go run ./examples/appstudy
+package main
+
+import (
+	"fmt"
+
+	"alpusim/internal/nic"
+	"alpusim/internal/stats"
+	"alpusim/internal/workloads"
+)
+
+func main() {
+	base := nic.Config{}
+	alpu := nic.Config{UseALPU: true, Cells: 128}
+
+	fmt.Println("Queue behaviour by application pattern (baseline NIC):")
+	tb := stats.NewTable("pattern", "ranks", "peak posted", "peak unexpected", "match depths")
+	type entry struct {
+		name string
+		rep  workloads.Report
+	}
+	var rows []entry
+	for _, n := range []int{4, 8, 16} {
+		rows = append(rows,
+			entry{"halo-1d", workloads.Halo(base, n, 8, 1024, 4)},
+			entry{"master-worker", workloads.MasterWorker(base, n, 4, 256, 3)},
+			entry{"unexpected-storm", workloads.UnexpectedStorm(base, n, 20, 64)},
+		)
+	}
+	for _, e := range rows {
+		depths := e.rep.PostedDepths
+		depths.Merge(&e.rep.UnexpDepths)
+		tb.AddRow(e.name, e.rep.Ranks, e.rep.PeakPosted, e.rep.PeakUnexp, depths.String())
+	}
+	fmt.Println(tb.String())
+
+	fmt.Println("The manager/worker and storm queues grow with the process count —")
+	fmt.Println("the refs [8]/[9] observation. With a 128-entry ALPU:")
+	fmt.Println()
+
+	tb2 := stats.NewTable("pattern", "ranks", "baseline", "with ALPU", "speedup")
+	for _, n := range []int{8, 16} {
+		for _, p := range []struct {
+			name string
+			run  func(nic.Config) workloads.Report
+		}{
+			{"halo-1d", func(c nic.Config) workloads.Report { return workloads.Halo(c, n, 8, 1024, 4) }},
+			{"master-worker", func(c nic.Config) workloads.Report { return workloads.MasterWorker(c, n, 4, 256, 3) }},
+			{"unexpected-storm", func(c nic.Config) workloads.Report { return workloads.UnexpectedStorm(c, n, 20, 64) }},
+		} {
+			b := p.run(base)
+			a := p.run(alpu)
+			tb2.AddRow(p.name, n,
+				fmt.Sprintf("%.1fus", b.Elapsed.Microseconds()),
+				fmt.Sprintf("%.1fus", a.Elapsed.Microseconds()),
+				fmt.Sprintf("%.2fx", float64(b.Elapsed)/float64(a.Elapsed)))
+		}
+	}
+	fmt.Println(tb2.String())
+	fmt.Println("Short-queue codes are near-neutral (the ~80 ns interface cost);")
+	fmt.Println("deep-queue codes win, exactly the paper's §VI conclusion.")
+}

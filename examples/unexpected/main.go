@@ -1,0 +1,48 @@
+// Unexpected: the Fig. 6 phenomenon at example scale. A rank is flooded
+// with messages it has not posted receives for (the classic unexpected-
+// message storm of loosely synchronised applications); posting the next
+// receive must then search the unexpected queue, and latency — including
+// that posting time — grows with the queue unless an ALPU handles it.
+//
+//	go run ./examples/unexpected
+package main
+
+import (
+	"fmt"
+
+	"alpusim/internal/bench"
+	"alpusim/internal/stats"
+)
+
+func main() {
+	fmt.Println("Unexpected queue length vs. latency (posting time included, §V-A)")
+	fmt.Println()
+
+	queueLens := []int{0, 25, 50, 75, 100, 150, 200, 300}
+	series := map[bench.NICKind][]bench.UnexpectedPoint{}
+	for _, k := range []bench.NICKind{bench.Baseline, bench.ALPU256} {
+		series[k] = bench.RunUnexpected(bench.UnexpectedConfig{
+			NIC:       bench.NICConfig(k),
+			QueueLens: queueLens,
+		})
+	}
+
+	tb := stats.NewTable("Unexpected len", "baseline (ns)", "alpu-256 (ns)", "winner")
+	for i, u := range queueLens {
+		b := series[bench.Baseline][i].Latency
+		a := series[bench.ALPU256][i].Latency
+		winner := "alpu"
+		if b <= a {
+			winner = "baseline"
+		}
+		tb.AddRow(u, fmt.Sprintf("%.0f", b.Nanoseconds()), fmt.Sprintf("%.0f", a.Nanoseconds()), winner)
+	}
+	fmt.Println(tb.String())
+
+	anchors := bench.ExtractFig6(series[bench.Baseline], series[bench.ALPU256])
+	fmt.Printf("short queues: the ALPU loses ~%.0f ns to its interface overhead;\n", anchors.ShortQueueLossNs)
+	if anchors.CrossoverEntries >= 0 {
+		fmt.Printf("past ~%d entries it wins and its curve stays flat (paper: ~70, §VI-C).\n",
+			anchors.CrossoverEntries)
+	}
+}

@@ -1,0 +1,3 @@
+module alpusim
+
+go 1.22

@@ -1,0 +1,455 @@
+package alpu
+
+import (
+	"fmt"
+
+	"alpusim/internal/match"
+	"alpusim/internal/params"
+	"alpusim/internal/sim"
+)
+
+// Config describes a Device build point and its timing.
+type Config struct {
+	Variant  Variant
+	Geometry Geometry
+	Clock    sim.Clock
+
+	// MatchCycles is the pipeline occupancy of one match; 0 selects the
+	// geometry rule (§V-D). The paper's simulations assume 7.
+	MatchCycles int
+	// InsertCycles is the spacing between inserts; 0 selects the
+	// prototype's 2 (§V-D).
+	InsertCycles int
+
+	HeaderFIFODepth  int
+	CommandFIFODepth int
+	ResultFIFODepth  int
+
+	// CompactAnyBlock widens the "space available" definition from
+	// "higher cell in this block or the lowest cell of the next block" to
+	// "any empty cell anywhere above" (§III-B discusses this as a timing
+	// trade-off). Used by the abl-compaction ablation.
+	CompactAnyBlock bool
+}
+
+// DefaultConfig returns the simulated configuration used by the paper's
+// Fig. 5/6 runs: the ASIC-speed unit at 500 MHz with a 7-cycle pipeline.
+func DefaultConfig(v Variant, cells int) Config {
+	return Config{
+		Variant:          v,
+		Geometry:         Geometry{Cells: cells, BlockSize: params.ALPUDefaultBlockSize},
+		Clock:            sim.MHz(params.ALPUClockMHz),
+		MatchCycles:      params.ALPUMatchCycles,
+		InsertCycles:     params.ALPUInsertCycles,
+		HeaderFIFODepth:  params.ALPUHeaderFIFODepth,
+		CommandFIFODepth: params.ALPUCommandFIFODepth,
+		ResultFIFODepth:  params.ALPUResultFIFODepth,
+	}
+}
+
+type cell struct {
+	valid bool
+	bits  match.Bits
+	mask  match.Bits
+	tag   uint32
+}
+
+// Stats counts Device activity for the benchmark reports.
+type Stats struct {
+	Matches      uint64 // probes processed to completion
+	Hits         uint64 // MATCH SUCCESS responses
+	Failures     uint64 // MATCH FAILURE responses
+	HeldRetries  uint64 // failed matches held during insert mode
+	Inserts      uint64 // entries written
+	LostInserts  uint64 // inserts arriving with no free cell (protocol violation)
+	Resets       uint64
+	Discarded    uint64 // commands discarded in the wrong state (§III-C)
+	StartInserts uint64
+	MaxOccupancy int
+	ShiftCycles  uint64 // cycles in which compaction moved data
+	ResultStalls uint64 // cycles stalled on a full result FIFO
+}
+
+// Device is the cycle-level ALPU model. It runs as its own co-simulated
+// process; the NIC interacts with it only through the three FIFOs, exactly
+// as in Fig. 1.
+type Device struct {
+	cfg  Config
+	eng  *sim.Engine
+	name string
+
+	// Headers receives probe copies (incoming headers for the
+	// posted-receive unit, new receives for the unexpected unit).
+	Headers *sim.FIFO[Probe]
+	// Commands receives Table I commands from the processor.
+	Commands *sim.FIFO[Command]
+	// Results delivers Table II responses to the processor.
+	Results *sim.FIFO[Response]
+
+	kick  *sim.Signal
+	cells []cell
+	held  *Probe // failed match held for retry during insert mode (§III-C)
+
+	// Scratch buffers for shiftStep (it runs every device cycle).
+	validBuf   []bool
+	enabledBuf []bool
+
+	insertMode bool
+	stats      Stats
+}
+
+// NewDevice creates and starts a Device on eng.
+func NewDevice(eng *sim.Engine, name string, cfg Config) (*Device, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Clock.Period == 0 {
+		cfg.Clock = sim.MHz(params.ALPUClockMHz)
+	}
+	if cfg.MatchCycles == 0 {
+		cfg.MatchCycles = cfg.Geometry.PipelineCycles()
+	}
+	if cfg.InsertCycles == 0 {
+		cfg.InsertCycles = params.ALPUInsertCycles
+	}
+	d := &Device{
+		cfg:      cfg,
+		eng:      eng,
+		name:     name,
+		Headers:  sim.NewFIFO[Probe](eng, name+".hdr", cfg.HeaderFIFODepth),
+		Commands: sim.NewFIFO[Command](eng, name+".cmd", cfg.CommandFIFODepth),
+		Results:  sim.NewFIFO[Response](eng, name+".res", cfg.ResultFIFODepth),
+		kick:     sim.NewSignal(eng),
+		cells:    make([]cell, cfg.Geometry.Cells),
+	}
+	eng.Spawn(name, d.run)
+	return d, nil
+}
+
+// MustDevice is NewDevice for known-good configurations.
+func MustDevice(eng *sim.Engine, name string, cfg Config) *Device {
+	d, err := NewDevice(eng, name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns a snapshot of the activity counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// InsertMode reports whether the device is between START and STOP INSERT.
+func (d *Device) InsertMode() bool { return d.insertMode }
+
+// PushProbe delivers a header/receive copy into the header FIFO (the
+// hardware path of Fig. 1; no processor involvement). It reports false if
+// the FIFO was full and the probe was dropped.
+func (d *Device) PushProbe(p Probe) bool {
+	ok := d.Headers.Push(p)
+	d.kick.Raise()
+	return ok
+}
+
+// PushCommand delivers a command into the command FIFO. The *processor
+// side* cost (bus transaction) is charged by the caller.
+func (d *Device) PushCommand(c Command) bool {
+	ok := d.Commands.Push(c)
+	d.kick.Raise()
+	return ok
+}
+
+// Occupancy returns the number of valid cells.
+func (d *Device) Occupancy() int {
+	n := 0
+	for _, c := range d.cells {
+		if c.valid {
+			n++
+		}
+	}
+	return n
+}
+
+// free returns the number of invalid cells.
+func (d *Device) free() int { return d.cfg.Geometry.Cells - d.Occupancy() }
+
+// Tags returns the stored tags from oldest (highest priority) to newest,
+// for tests.
+func (d *Device) Tags() []uint32 {
+	var out []uint32
+	for i := len(d.cells) - 1; i >= 0; i-- {
+		if d.cells[i].valid {
+			out = append(out, d.cells[i].tag)
+		}
+	}
+	return out
+}
+
+// run is the controlling state machine (Fig. 3). The outer loop is the
+// Match state; a non-empty command FIFO at a match boundary enters the
+// Read Command state; START INSERT enters insert mode.
+func (d *Device) run(p *sim.Process) {
+	for {
+		if d.Commands.Len() == 0 && d.Headers.Len() == 0 {
+			if d.needsCompaction() {
+				d.tick(p, 1)
+				continue
+			}
+			p.WaitCond(d.kick, func() bool {
+				return d.Commands.Len() > 0 || d.Headers.Len() > 0
+			})
+		}
+
+		// Read Command state: only RESET and START INSERT are valid here;
+		// everything else is discarded (§III-C footnote 3).
+		if c, ok := d.Commands.Pop(); ok {
+			d.tick(p, 1)
+			switch c.Op {
+			case OpReset:
+				d.reset()
+			case OpStartInsert:
+				d.insertLoop(p)
+			default:
+				d.stats.Discarded++
+			}
+			continue
+		}
+
+		if probe, ok := d.Headers.Pop(); ok {
+			d.doMatch(p, probe, false)
+		}
+	}
+}
+
+// insertLoop is insert mode: inserts are accepted, and matching continues
+// between inserts until a match fails; failed matches are held for retry
+// until insert mode exits (§III-C, §IV-C).
+func (d *Device) insertLoop(p *sim.Process) {
+	d.insertMode = true
+	d.stats.StartInserts++
+	d.pushResult(p, Response{Kind: RespStartAck, Free: d.free()})
+
+	for {
+		if c, ok := d.Commands.Pop(); ok {
+			switch c.Op {
+			case OpInsert:
+				d.doInsert(p, c)
+			case OpStopInsert:
+				d.insertMode = false
+				if d.held != nil {
+					probe := *d.held
+					d.held = nil
+					// Retry the held match against the post-insert list.
+					d.doMatch(p, probe, false)
+				}
+				return
+			default:
+				// START INSERT while inserting, or RESET mid-insert: the
+				// prototype discards these (§III-C).
+				d.stats.Discarded++
+			}
+			continue
+		}
+
+		// Between inserts, matching continues until a match fails.
+		if d.held == nil {
+			if probe, ok := d.Headers.Pop(); ok {
+				d.doMatch(p, probe, true)
+				continue
+			}
+		}
+
+		if d.needsCompaction() {
+			d.tick(p, 1)
+			continue
+		}
+		p.WaitCond(d.kick, func() bool {
+			return d.Commands.Len() > 0 || (d.held == nil && d.Headers.Len() > 0)
+		})
+	}
+}
+
+// doInsert writes a new entry into cell 0, waiting for compaction to
+// vacate it if necessary. Inserts are irrevocable (§IV-C footnote 4): an
+// insert with no free cell is lost and counted.
+func (d *Device) doInsert(p *sim.Process, c Command) {
+	if d.free() == 0 {
+		d.stats.LostInserts++
+		d.tick(p, d.cfg.InsertCycles)
+		return
+	}
+	for d.cells[0].valid {
+		d.tick(p, 1) // compaction will drain the hole down to cell 0
+	}
+	d.cells[0] = cell{valid: true, bits: c.Bits, mask: c.Mask, tag: c.Tag}
+	d.stats.Inserts++
+	if occ := d.Occupancy(); occ > d.stats.MaxOccupancy {
+		d.stats.MaxOccupancy = occ
+	}
+	d.tick(p, d.cfg.InsertCycles)
+}
+
+// doMatch runs one probe through the pipeline. In insert mode a failure is
+// held for retry instead of producing MATCH FAILURE (§IV-A: failure never
+// appears between START ACKNOWLEDGE and STOP INSERT).
+func (d *Device) doMatch(p *sim.Process, probe Probe, inInsertMode bool) {
+	// Resolve the match and delete against the pipeline-entry state; the
+	// tick below models the pipeline occupancy. Compaction during the tick
+	// may move cells, so the result must be captured first.
+	idx := d.findMatch(probe)
+	hit := idx >= 0
+	var tag uint32
+	if hit {
+		tag = d.cells[idx].tag
+		d.deleteAt(idx)
+	}
+	d.tick(p, d.cfg.MatchCycles)
+	d.stats.Matches++
+	if hit {
+		d.stats.Hits++
+		d.pushResult(p, Response{Kind: RespMatchSuccess, Tag: tag, Probe: probe})
+		return
+	}
+	if inInsertMode {
+		d.stats.HeldRetries++
+		held := probe
+		d.held = &held
+		return
+	}
+	d.stats.Failures++
+	d.pushResult(p, Response{Kind: RespMatchFailure, Probe: probe})
+}
+
+// findMatch returns the index of the highest-priority (highest index,
+// oldest) matching valid cell, or -1. This is the priority mux tree of
+// §III-B collapsed into its functional result.
+func (d *Device) findMatch(probe Probe) int {
+	pm := probeMask(d.cfg.Variant, probe)
+	for i := len(d.cells) - 1; i >= 0; i-- {
+		c := d.cells[i]
+		if c.valid && match.Matches(c.bits, entryMask(d.cfg.Variant, c.mask), probe.Bits, pm) {
+			return i
+		}
+	}
+	return -1
+}
+
+// deleteAt removes the matched cell: cells below the match location shift
+// up by one, leaving the lowest-priority cell empty; no hole is created
+// (§III-B footnote 2).
+func (d *Device) deleteAt(idx int) {
+	copy(d.cells[1:idx+1], d.cells[0:idx])
+	d.cells[0] = cell{}
+}
+
+// reset clears all valid flags (the RESET command).
+func (d *Device) reset() {
+	for i := range d.cells {
+		d.cells[i] = cell{}
+	}
+	d.held = nil
+	d.stats.Resets++
+}
+
+// tick advances n device clock cycles, performing one compaction step per
+// cycle (the per-cycle register enables of §III-B).
+func (d *Device) tick(p *sim.Process, n int) {
+	for i := 0; i < n; i++ {
+		if d.shiftStep() {
+			d.stats.ShiftCycles++
+		}
+		p.Sleep(d.cfg.Clock.Period)
+	}
+}
+
+// shiftStep performs one cycle of hole compaction. A cell's data moves up
+// one position when the cell is enabled under the "space available"
+// definition: an empty cell higher in its own block, or an empty lowest
+// cell of the next block (§III-B); CompactAnyBlock widens this to any
+// empty cell above. Enables are computed from the pre-cycle state, as the
+// hardware's registered control does.
+func (d *Device) shiftStep() bool {
+	n := len(d.cells)
+	bs := d.cfg.Geometry.BlockSize
+	if d.validBuf == nil {
+		d.validBuf = make([]bool, n)
+		d.enabledBuf = make([]bool, n)
+	}
+	validBefore := d.validBuf
+	anyHole := false
+	for i, c := range d.cells {
+		validBefore[i] = c.valid
+		if !c.valid {
+			anyHole = true
+		}
+	}
+	if !anyHole {
+		return false
+	}
+
+	enabled := d.enabledBuf
+	// holeAbove[i]: is there an empty cell at any j > i (pre-cycle state)?
+	holeAbove := false
+	for i := n - 1; i >= 0; i-- {
+		if d.cfg.CompactAnyBlock {
+			enabled[i] = holeAbove
+		} else {
+			blockEnd := (i/bs+1)*bs - 1 // top index of i's block
+			e := false
+			for j := i + 1; j <= blockEnd; j++ {
+				if !validBefore[j] {
+					e = true
+					break
+				}
+			}
+			if !e && blockEnd+1 < n && !validBefore[blockEnd+1] {
+				e = true // lowest cell of the next block is empty
+			}
+			enabled[i] = e
+		}
+		if !validBefore[i] {
+			holeAbove = true
+		}
+	}
+
+	moved := false
+	// Each enabled cell's data moves to the cell above; apply from the top
+	// down so a contiguous enabled run shifts by one as a group.
+	for i := n - 2; i >= 0; i-- {
+		if enabled[i] && d.cells[i].valid && !d.cells[i+1].valid {
+			d.cells[i+1] = d.cells[i]
+			d.cells[i] = cell{}
+			moved = true
+		}
+	}
+	return moved
+}
+
+// needsCompaction reports whether any valid cell still has an empty cell
+// above it (the valid cells are not yet a contiguous suffix at the
+// high-priority end). Holes below all data are the compacted steady state.
+func (d *Device) needsCompaction() bool {
+	seenEmpty := false
+	for i := len(d.cells) - 1; i >= 0; i-- {
+		if !d.cells[i].valid {
+			seenEmpty = true
+		} else if seenEmpty {
+			return true
+		}
+	}
+	return false
+}
+
+// pushResult appends to the result FIFO, stalling (as real hardware would
+// backpressure) while it is full until the processor drains it (§IV-C).
+func (d *Device) pushResult(p *sim.Process, r Response) {
+	for d.Results.Full() {
+		d.stats.ResultStalls++
+		d.tick(p, 1)
+	}
+	if !d.Results.Push(r) {
+		panic(fmt.Sprintf("%s: result FIFO rejected push while not full", d.name))
+	}
+}

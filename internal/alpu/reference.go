@@ -1,0 +1,80 @@
+package alpu
+
+import "alpusim/internal/match"
+
+// Reference is the functional oracle for ALPU behaviour: an ordered,
+// bounded list with first-posted-wins matching and delete-on-match. It has
+// no notion of time, holes, or blocks; the cycle-level Device must be
+// observationally equivalent to it (see the property tests).
+type Reference struct {
+	variant Variant
+	cap     int
+	entries []refEntry // index 0 = oldest (highest priority)
+}
+
+type refEntry struct {
+	bits match.Bits
+	mask match.Bits
+	tag  uint32
+}
+
+// NewReference returns an empty reference unit with the given capacity.
+func NewReference(v Variant, capacity int) *Reference {
+	return &Reference{variant: v, cap: capacity}
+}
+
+// Capacity returns the total number of cells.
+func (r *Reference) Capacity() int { return r.cap }
+
+// Occupancy returns the number of valid entries.
+func (r *Reference) Occupancy() int { return len(r.entries) }
+
+// Free returns the number of empty cells.
+func (r *Reference) Free() int { return r.cap - len(r.entries) }
+
+// Reset clears all entries (the RESET command).
+func (r *Reference) Reset() { r.entries = r.entries[:0] }
+
+// Insert appends an entry at the lowest priority position. It reports
+// false when the unit is full.
+func (r *Reference) Insert(bits, mask match.Bits, tag uint32) bool {
+	if len(r.entries) >= r.cap {
+		return false
+	}
+	r.entries = append(r.entries, refEntry{bits: bits, mask: mask, tag: tag})
+	return true
+}
+
+// Match finds the oldest entry matching the probe. On success it deletes
+// the entry (MPI semantics, §III-B) and returns its tag.
+func (r *Reference) Match(p Probe) (tag uint32, ok bool) {
+	pm := probeMask(r.variant, p)
+	for i, e := range r.entries {
+		if match.Matches(e.bits, entryMask(r.variant, e.mask), p.Bits, pm) {
+			tag = e.tag
+			r.entries = append(r.entries[:i], r.entries[i+1:]...)
+			return tag, true
+		}
+	}
+	return 0, false
+}
+
+// Peek is Match without the delete, for tests.
+func (r *Reference) Peek(p Probe) (tag uint32, ok bool) {
+	pm := probeMask(r.variant, p)
+	for _, e := range r.entries {
+		if match.Matches(e.bits, entryMask(r.variant, e.mask), p.Bits, pm) {
+			return e.tag, true
+		}
+	}
+	return 0, false
+}
+
+// Tags returns the stored tags from oldest to newest, for tests.
+func (r *Reference) Tags() []uint32 {
+	out := make([]uint32, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = e.tag
+	}
+	return out
+}

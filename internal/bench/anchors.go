@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"alpusim/internal/sim"
+	"alpusim/internal/stats"
+)
+
+// Fig5Anchors are the §VI-B text anchors extracted from measured Fig. 5
+// series (100 % traversal projections).
+type Fig5Anchors struct {
+	// BaseLatencyNs is the baseline NIC zero-queue latency.
+	BaseLatencyNs float64
+	// ALPUBaseLatencyNs is the ALPU NIC zero-queue latency.
+	ALPUBaseLatencyNs float64
+	// PenaltyNs is the ALPU's added base latency (paper: ~80 ns).
+	PenaltyNs float64
+	// InCacheNsPerEntry is the per-entry traversal cost while the queue
+	// fits in the NIC cache (paper: ~15 ns).
+	InCacheNsPerEntry float64
+	// OutOfCacheNsPerEntry is the marginal cost past the cache knee
+	// (paper: ~64 ns).
+	OutOfCacheNsPerEntry float64
+	// BreakEvenEntries is the queue length where the ALPU overtakes the
+	// baseline (paper: ~5).
+	BreakEvenEntries float64
+	// Full400TraversalUs is the traversal component of a full 400-entry
+	// list (paper: ~13 us).
+	Full400TraversalUs float64
+	// Traverse80Of500Us is the traversal component of 80 % of a 500-entry
+	// list (paper: ~24 us).
+	Traverse80Of500Us float64
+	// FlatUntil is the largest measured queue length at which the ALPU
+	// curve is still within one traversal-entry of its base (paper: the
+	// ALPU size).
+	FlatUntil int
+}
+
+// at returns the latency of the point with the given traversal depth and
+// queue length, or -1.
+func at(pts []PrepostedPoint, q, traversed int) sim.Time {
+	for _, p := range pts {
+		if p.QueueLen == q && p.Traversed == traversed {
+			return p.Latency
+		}
+	}
+	return -1
+}
+
+// fullTraversal returns the (queue length, latency) series of the
+// 100 %-traversed points.
+func fullTraversal(pts []PrepostedPoint) (qs []float64, lats []float64, base sim.Time) {
+	base = -1
+	for _, p := range pts {
+		if p.Traversed != p.QueueLen {
+			continue
+		}
+		qs = append(qs, float64(p.QueueLen))
+		lats = append(lats, p.Latency.Nanoseconds())
+		if p.QueueLen == 0 {
+			base = p.Latency
+		}
+	}
+	return qs, lats, base
+}
+
+// ExtractFig5 computes the anchor numbers from a baseline series and an
+// ALPU series (both must cover queue lengths 0..500 at full traversal;
+// anchors whose inputs are missing are left zero).
+func ExtractFig5(baseline, alpuPts []PrepostedPoint, alpuCells int) Fig5Anchors {
+	var a Fig5Anchors
+	qs, lats, base := fullTraversal(baseline)
+	if base >= 0 {
+		a.BaseLatencyNs = base.Nanoseconds()
+	}
+
+	// In-cache slope: fit over the region safely below the cache knee.
+	var xs, ys []float64
+	for i, q := range qs {
+		if q >= 5 && q <= 200 {
+			xs = append(xs, q)
+			ys = append(ys, lats[i])
+		}
+	}
+	a.InCacheNsPerEntry, _ = stats.LinearFit(xs, ys)
+
+	// Out-of-cache cost: the paper reports it as the *average* per-entry
+	// cost once the queue no longer fits ("the average time per entry
+	// traversed grows to 64 ns", §VI-B) — compute it at the deepest
+	// full-traversal point.
+	maxQ, maxLat := 0.0, 0.0
+	for i, q := range qs {
+		if q > maxQ {
+			maxQ, maxLat = q, lats[i]
+		}
+	}
+	if maxQ > 0 && base >= 0 {
+		a.OutOfCacheNsPerEntry = (maxLat - a.BaseLatencyNs) / maxQ
+	}
+
+	if l := at(baseline, 400, 400); l >= 0 && base >= 0 {
+		a.Full400TraversalUs = (l - base).Microseconds()
+	}
+	if l := at(baseline, 500, 400); l >= 0 && base >= 0 {
+		a.Traverse80Of500Us = (l - base).Microseconds()
+	}
+
+	aqs, alats, abase := fullTraversal(alpuPts)
+	if abase >= 0 {
+		a.ALPUBaseLatencyNs = abase.Nanoseconds()
+		a.PenaltyNs = a.ALPUBaseLatencyNs - a.BaseLatencyNs
+	}
+	if a.InCacheNsPerEntry > 0 {
+		a.BreakEvenEntries = a.PenaltyNs / a.InCacheNsPerEntry
+	}
+	// Flat region: the largest queue length with latency within one
+	// in-cache entry cost of the ALPU base.
+	for i, q := range aqs {
+		if alats[i] <= a.ALPUBaseLatencyNs+a.InCacheNsPerEntry {
+			if int(q) > a.FlatUntil {
+				a.FlatUntil = int(q)
+			}
+		}
+	}
+	_ = alpuCells
+	return a
+}
+
+// Fig6Anchors are the §VI-C anchors from the unexpected-queue series.
+type Fig6Anchors struct {
+	// BaselineFlatNs is the baseline latency with an empty unexpected
+	// queue (the overlap-hidden region).
+	BaselineFlatNs float64
+	// ALPUFlatNs is the ALPU latency in the same region.
+	ALPUFlatNs float64
+	// ShortQueueLossNs is the ALPU's loss on short queues (paper: a few
+	// tens of ns).
+	ShortQueueLossNs float64
+	// CrossoverEntries is the queue length where the baseline first
+	// exceeds the ALPU (paper: ~70).
+	CrossoverEntries int
+}
+
+// ExtractFig6 computes the Fig. 6 anchors. The two series must share
+// queue lengths.
+func ExtractFig6(baseline, alpuPts []UnexpectedPoint) Fig6Anchors {
+	var a Fig6Anchors
+	if len(baseline) == 0 || len(alpuPts) == 0 {
+		return a
+	}
+	a.BaselineFlatNs = baseline[0].Latency.Nanoseconds()
+	a.ALPUFlatNs = alpuPts[0].Latency.Nanoseconds()
+	a.ShortQueueLossNs = a.ALPUFlatNs - a.BaselineFlatNs
+	a.CrossoverEntries = -1
+	for i, b := range baseline {
+		if i < len(alpuPts) && b.Latency > alpuPts[i].Latency {
+			a.CrossoverEntries = b.QueueLen
+			break
+		}
+	}
+	return a
+}

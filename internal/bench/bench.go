@@ -1,0 +1,230 @@
+// Package bench implements the two benchmarks of §V-A — the pre-posted
+// receive queue benchmark behind Fig. 5 and the unexpected message queue
+// benchmark behind Fig. 6 — plus the NIC configurations they compare
+// (baseline, 128-entry ALPU, 256-entry ALPU) and helpers that extract the
+// §VI-B text anchors from the measured series.
+package bench
+
+import (
+	"alpusim/internal/mpi"
+	"alpusim/internal/nic"
+	"alpusim/internal/sim"
+)
+
+// Tags used by the workloads. NoMatchTag entries never match a probe;
+// MatchBase+k is iteration k's probe; control-flow tags are above those.
+const (
+	noMatchTag = 0x1000
+	matchBase  = 0x2000
+	doneTag    = 0x3000
+	goTag      = 0x3001
+	ackBase    = 0x3100
+)
+
+// NICKind names the three evaluated configurations.
+type NICKind int
+
+const (
+	// Baseline is the embedded-processor-only NIC (Red-Storm-like, §VI-B).
+	Baseline NICKind = iota
+	// ALPU128 adds 128-entry units for both queues.
+	ALPU128
+	// ALPU256 adds 256-entry units for both queues.
+	ALPU256
+)
+
+func (k NICKind) String() string {
+	switch k {
+	case Baseline:
+		return "baseline"
+	case ALPU128:
+		return "alpu-128"
+	case ALPU256:
+		return "alpu-256"
+	default:
+		return "custom"
+	}
+}
+
+// NICConfig returns the nic.Config for a named configuration.
+func NICConfig(k NICKind) nic.Config {
+	switch k {
+	case ALPU128:
+		return nic.Config{UseALPU: true, Cells: 128}
+	case ALPU256:
+		return nic.Config{UseALPU: true, Cells: 256}
+	default:
+		return nic.Config{}
+	}
+}
+
+// PrepostedPoint is one cell of the Fig. 5 surface.
+type PrepostedPoint struct {
+	QueueLen  int     // non-matching entries in the posted receive queue
+	Frac      float64 // requested fraction of the queue to traverse
+	Traversed int     // entries actually in front of the match
+	MsgSize   int
+	Latency   sim.Time // one-way: send start (host) -> recv complete (host)
+}
+
+// PrepostedConfig parameterises the Fig. 5 benchmark (§V-A: three degrees
+// of freedom — queue length, portion traversed, message size).
+type PrepostedConfig struct {
+	NIC       nic.Config
+	QueueLens []int
+	Fracs     []float64
+	MsgSize   int
+	// Iters is the number of measured probes per point; the final
+	// iteration (cache steady state) is reported. Default 3.
+	Iters int
+}
+
+// iters-many matching receives are pre-posted back to back at the chosen
+// depth, so that consuming iteration k's entry leaves iteration k+1's at
+// the same depth — traversal depth is constant across iterations without
+// re-posting (which would move the entry to the tail).
+func (c PrepostedConfig) iters() int {
+	if c.Iters <= 0 {
+		return 3
+	}
+	return c.Iters
+}
+
+// RunPreposted measures the full surface for one NIC configuration. Each
+// point runs in a fresh two-node world: rank 0 sends the probe messages,
+// rank 1 holds the pre-posted queue.
+func RunPreposted(cfg PrepostedConfig) []PrepostedPoint {
+	var out []PrepostedPoint
+	for _, q := range cfg.QueueLens {
+		seen := map[int]bool{}
+		for _, f := range cfg.Fracs {
+			p := int(f*float64(q) + 0.5)
+			if p > q {
+				p = q
+			}
+			if seen[p] {
+				continue // distinct fractions can alias at small Q
+			}
+			seen[p] = true
+			lat := prepostedPoint(cfg, q, p)
+			out = append(out, PrepostedPoint{
+				QueueLen: q, Frac: f, Traversed: p,
+				MsgSize: cfg.MsgSize, Latency: lat,
+			})
+		}
+	}
+	return out
+}
+
+// prepostedPoint measures one (queue length, traversed) cell.
+func prepostedPoint(cfg PrepostedConfig, q, p int) sim.Time {
+	iters := cfg.iters()
+	sendStart := make([]sim.Time, iters)
+	recvDone := make([]sim.Time, iters)
+
+	progs := []mpi.Program{
+		// Rank 0: probe sender. Pre-posts its ack receives so the
+		// return path never traverses a long queue.
+		func(r *mpi.Rank) {
+			acks := make([]*mpi.Request, iters)
+			for k := 0; k < iters; k++ {
+				acks[k] = r.Irecv(1, ackBase+k, 0)
+			}
+			r.Barrier()
+			for k := 0; k < iters; k++ {
+				sendStart[k] = r.Now()
+				r.Send(1, matchBase+k, cfg.MsgSize)
+				r.Wait(acks[k])
+			}
+		},
+		// Rank 1: queue holder. Builds [p non-matching][iters matching]
+		// [q-p non-matching], then consumes the matching entries in order.
+		func(r *mpi.Rank) {
+			for i := 0; i < p; i++ {
+				r.Irecv(0, noMatchTag+i, 0)
+			}
+			matches := make([]*mpi.Request, iters)
+			for k := 0; k < iters; k++ {
+				matches[k] = r.Irecv(0, matchBase+k, cfg.MsgSize)
+			}
+			for i := p; i < q; i++ {
+				r.Irecv(0, noMatchTag+i, 0)
+			}
+			r.Barrier()
+			for k := 0; k < iters; k++ {
+				r.Wait(matches[k])
+				recvDone[k] = matches[k].DoneAt()
+				r.Send(0, ackBase+k, 0)
+			}
+		},
+	}
+	mpi.RunPrograms(mpi.Config{Ranks: 2, NIC: cfg.NIC}, progs)
+
+	// Report the final iteration: cache and ALPU state have reached the
+	// steady state the paper's repeated-iteration benchmark measures.
+	return recvDone[iters-1] - sendStart[iters-1]
+}
+
+// UnexpectedPoint is one point of the Fig. 6 series.
+type UnexpectedPoint struct {
+	QueueLen int
+	MsgSize  int
+	Latency  sim.Time
+}
+
+// UnexpectedConfig parameterises the Fig. 6 benchmark (§V-A: queue length
+// and message size only).
+type UnexpectedConfig struct {
+	NIC       nic.Config
+	QueueLens []int
+	MsgSize   int
+}
+
+// RunUnexpected measures latency — including the time to post the
+// receive, overlapped with the transfer (§V-A, §VI-C) — as a function of
+// the unexpected queue length.
+func RunUnexpected(cfg UnexpectedConfig) []UnexpectedPoint {
+	var out []UnexpectedPoint
+	for _, u := range cfg.QueueLens {
+		out = append(out, UnexpectedPoint{
+			QueueLen: u,
+			MsgSize:  cfg.MsgSize,
+			Latency:  unexpectedPoint(cfg, u),
+		})
+	}
+	return out
+}
+
+func unexpectedPoint(cfg UnexpectedConfig, u int) sim.Time {
+	var t0, t1 sim.Time
+
+	progs := []mpi.Program{
+		// Rank 0: floods rank 1 with u unexpected messages, then a DONE
+		// marker; on GO it sends the latency-measuring message.
+		func(r *mpi.Rank) {
+			goReq := r.Irecv(1, goTag, 0)
+			r.Barrier()
+			for i := 0; i < u; i++ {
+				r.Send(1, noMatchTag+i, cfg.MsgSize)
+			}
+			r.Send(1, doneTag, 0)
+			r.Wait(goReq)
+			r.Send(1, matchBase, cfg.MsgSize)
+		},
+		// Rank 1: waits until the flood has fully arrived (DONE is
+		// ordered behind it), then measures posting + completing the
+		// receive; the posting search overlaps the GO/probe flight.
+		func(r *mpi.Rank) {
+			done := r.Irecv(0, doneTag, 0)
+			r.Barrier()
+			r.Wait(done)
+			t0 = r.Now()
+			r.Send(0, goTag, 0)
+			req := r.Irecv(0, matchBase, cfg.MsgSize)
+			r.Wait(req)
+			t1 = req.DoneAt()
+		},
+	}
+	mpi.RunPrograms(mpi.Config{Ranks: 2, NIC: cfg.NIC}, progs)
+	return t1 - t0
+}

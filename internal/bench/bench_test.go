@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"testing"
+
+	"alpusim/internal/sim"
+)
+
+func TestNICKindStrings(t *testing.T) {
+	if Baseline.String() != "baseline" || ALPU128.String() != "alpu-128" ||
+		ALPU256.String() != "alpu-256" || NICKind(9).String() != "custom" {
+		t.Error("NICKind.String wrong")
+	}
+	if NICConfig(ALPU128).Cells != 128 || !NICConfig(ALPU128).UseALPU {
+		t.Error("NICConfig(ALPU128) wrong")
+	}
+	if NICConfig(Baseline).UseALPU {
+		t.Error("baseline config has ALPU")
+	}
+}
+
+func TestPrepostedBaselineSlope(t *testing.T) {
+	// The headline §VI-B anchor: ~15 ns per traversed entry in cache.
+	pts := RunPreposted(PrepostedConfig{
+		NIC:       NICConfig(Baseline),
+		QueueLens: []int{0, 50, 100, 150, 200},
+		Fracs:     []float64{1.0},
+	})
+	if len(pts) != 5 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	perEntry := (pts[4].Latency - pts[0].Latency).Nanoseconds() / 200
+	if perEntry < 12 || perEntry > 18 {
+		t.Errorf("in-cache per-entry cost = %.1f ns, want ~15 (paper §VI-B)", perEntry)
+	}
+}
+
+func TestPrepostedTraversedFractionMatters(t *testing.T) {
+	// At fixed queue length, latency grows with the traversed portion:
+	// the benchmark's second degree of freedom.
+	pts := RunPreposted(PrepostedConfig{
+		NIC:       NICConfig(Baseline),
+		QueueLens: []int{200},
+		Fracs:     []float64{0, 0.5, 1.0},
+	})
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if !(pts[0].Latency < pts[1].Latency && pts[1].Latency < pts[2].Latency) {
+		t.Errorf("latency not increasing in traversed fraction: %v %v %v",
+			pts[0].Latency, pts[1].Latency, pts[2].Latency)
+	}
+	// Zero-traversal latency is near the base latency regardless of the
+	// 200 entries sitting behind the match.
+	base := RunPreposted(PrepostedConfig{NIC: NICConfig(Baseline), QueueLens: []int{0}, Fracs: []float64{0}})
+	if d := pts[0].Latency - base[0].Latency; d < 0 || d > 400*sim.Nanosecond {
+		t.Errorf("untraversed 200-entry queue adds %v to base latency", d)
+	}
+}
+
+func TestPrepostedALPUFlat(t *testing.T) {
+	// §VI-B: "a flat latency curve until the length of the posted receive
+	// queue crosses the size of the ALPU."
+	pts := RunPreposted(PrepostedConfig{
+		NIC:       NICConfig(ALPU128),
+		QueueLens: []int{0, 64, 120, 192},
+		Fracs:     []float64{1.0},
+	})
+	if pts[1].Latency != pts[0].Latency || pts[2].Latency != pts[0].Latency {
+		t.Errorf("ALPU latency not flat within capacity: %v %v %v",
+			pts[0].Latency, pts[1].Latency, pts[2].Latency)
+	}
+	if pts[3].Latency <= pts[0].Latency {
+		t.Errorf("ALPU latency did not rise past capacity: %v vs %v",
+			pts[3].Latency, pts[0].Latency)
+	}
+}
+
+func TestPrepostedALPUPenaltyAndBreakEven(t *testing.T) {
+	base := RunPreposted(PrepostedConfig{NIC: NICConfig(ALPU256), QueueLens: []int{0}, Fracs: []float64{1}})
+	nolist := RunPreposted(PrepostedConfig{NIC: NICConfig(Baseline), QueueLens: []int{0}, Fracs: []float64{1}})
+	penalty := (base[0].Latency - nolist[0].Latency).Nanoseconds()
+	// Paper: ~80 ns penalty on zero-length queues.
+	if penalty < 50 || penalty > 120 {
+		t.Errorf("ALPU zero-queue penalty = %.0f ns, want ~80 (paper §VI-B)", penalty)
+	}
+	// Paper: break-even at ~5 entries.
+	b5 := RunPreposted(PrepostedConfig{NIC: NICConfig(Baseline), QueueLens: []int{8}, Fracs: []float64{1}})
+	a5 := RunPreposted(PrepostedConfig{NIC: NICConfig(ALPU256), QueueLens: []int{8}, Fracs: []float64{1}})
+	if a5[0].Latency >= b5[0].Latency {
+		t.Errorf("ALPU not ahead by 8 entries: alpu %v vs baseline %v", a5[0].Latency, b5[0].Latency)
+	}
+}
+
+func TestUnexpectedCrossover(t *testing.T) {
+	qs := []int{0, 25, 50, 75, 100, 150, 200}
+	base := RunUnexpected(UnexpectedConfig{NIC: NICConfig(Baseline), QueueLens: qs})
+	al := RunUnexpected(UnexpectedConfig{NIC: NICConfig(ALPU256), QueueLens: qs})
+	a := ExtractFig6(base, al)
+	// §VI-C: small loss for short queues ("a few tens of nanoseconds"),
+	// clear advantage after ~70 entries.
+	if a.ShortQueueLossNs <= 0 || a.ShortQueueLossNs > 300 {
+		t.Errorf("short-queue ALPU loss = %.0f ns, want small positive", a.ShortQueueLossNs)
+	}
+	if a.CrossoverEntries < 25 || a.CrossoverEntries > 150 {
+		t.Errorf("crossover at %d entries, want ~70 (paper §VI-C)", a.CrossoverEntries)
+	}
+	// The ALPU curve stays flat across this range.
+	if al[len(al)-1].Latency > al[0].Latency+sim.Microsecond {
+		t.Errorf("ALPU unexpected latency not flat: %v -> %v", al[0].Latency, al[len(al)-1].Latency)
+	}
+}
+
+func TestExtractFig5Anchors(t *testing.T) {
+	qls := []int{0, 5, 50, 100, 150, 200, 350, 400, 450, 500}
+	base := RunPreposted(PrepostedConfig{NIC: NICConfig(Baseline), QueueLens: qls, Fracs: []float64{0.8, 1.0}})
+	al := RunPreposted(PrepostedConfig{NIC: NICConfig(ALPU256), QueueLens: qls, Fracs: []float64{1.0}})
+	a := ExtractFig5(base, al, 256)
+	if a.InCacheNsPerEntry < 12 || a.InCacheNsPerEntry > 18 {
+		t.Errorf("in-cache slope %.1f ns/entry, want ~15", a.InCacheNsPerEntry)
+	}
+	if a.OutOfCacheNsPerEntry < 45 || a.OutOfCacheNsPerEntry > 110 {
+		t.Errorf("out-of-cache slope %.1f ns/entry, want ~64", a.OutOfCacheNsPerEntry)
+	}
+	if a.PenaltyNs < 50 || a.PenaltyNs > 120 {
+		t.Errorf("penalty %.0f ns, want ~80", a.PenaltyNs)
+	}
+	if a.BreakEvenEntries < 3 || a.BreakEvenEntries > 9 {
+		t.Errorf("break-even %.1f entries, want ~5", a.BreakEvenEntries)
+	}
+	if a.Full400TraversalUs < 8 || a.Full400TraversalUs > 26 {
+		t.Errorf("400-entry traversal %.1f us, want ~13 (paper §VI-B)", a.Full400TraversalUs)
+	}
+	if a.Traverse80Of500Us < 15 || a.Traverse80Of500Us > 32 {
+		t.Errorf("80%% of 500 traversal %.1f us, want ~24 (paper §VI-B)", a.Traverse80Of500Us)
+	}
+	if a.FlatUntil < 200 {
+		t.Errorf("ALPU-256 flat region ends at %d, want ~256", a.FlatUntil)
+	}
+}
+
+// The benchmark's third degree of freedom (§V-A): message size. Latency
+// grows with payload (DMA + wire time), and the traversal penalty is
+// additive on top of it.
+func TestPrepostedMessageSizeDimension(t *testing.T) {
+	latAt := func(size, q int) float64 {
+		pts := RunPreposted(PrepostedConfig{
+			NIC:       NICConfig(Baseline),
+			QueueLens: []int{q},
+			Fracs:     []float64{1.0},
+			MsgSize:   size,
+		})
+		return pts[0].Latency.Nanoseconds()
+	}
+	zeroQ0 := latAt(0, 0)
+	bigQ0 := latAt(2048, 0)
+	if bigQ0 <= zeroQ0+1500 {
+		// 2 KB at 2 B/ns wire + DMA each side ~ 2-3 us extra.
+		t.Errorf("2KB payload added only %.0f ns over 0B", bigQ0-zeroQ0)
+	}
+	zeroQ100 := latAt(0, 100)
+	bigQ100 := latAt(2048, 100)
+	travSmall := zeroQ100 - zeroQ0
+	travBig := bigQ100 - bigQ0
+	// The traversal penalty is size-independent (within noise).
+	if travBig < travSmall*0.7 || travBig > travSmall*1.3 {
+		t.Errorf("traversal penalty varies with size: %.0f ns (0B) vs %.0f ns (2KB)",
+			travSmall, travBig)
+	}
+}
+
+func TestFracAliasingDeduped(t *testing.T) {
+	pts := RunPreposted(PrepostedConfig{
+		NIC:       NICConfig(Baseline),
+		QueueLens: []int{2},
+		Fracs:     []float64{0, 0.1, 0.2, 0.9, 1.0},
+	})
+	// Rounded depths collapse to {0, 2}: aliased fractions are deduped.
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2 after de-aliasing", len(pts))
+	}
+}

@@ -1,0 +1,199 @@
+// Package cache implements a set-associative, write-back, write-allocate
+// cache model with true-LRU replacement. It models state only (hit/miss and
+// writeback traffic); timing is composed by internal/memsys using the
+// Table III latencies.
+package cache
+
+import "fmt"
+
+// Policy selects the replacement policy.
+type Policy int
+
+const (
+	// LRU is exact least-recently-used (the host processor model).
+	LRU Policy = iota
+	// Random is deterministic pseudo-random victim selection, as embedded
+	// parts of the PPC440 era used (round-robin/pseudo-random). Unlike
+	// exact LRU it degrades gradually when a looping working set exceeds
+	// capacity, which is the behaviour behind the paper's Fig. 5/6 cache
+	// knees.
+	Random
+)
+
+// Config describes a cache's geometry.
+type Config struct {
+	Size     int // total bytes
+	Assoc    int // ways
+	LineSize int // bytes
+	Policy   Policy
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // larger = more recently used
+}
+
+// Cache is a single level of set-associative cache.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	numSets int
+	ticks   uint64
+	rng     uint64 // xorshift state for Random replacement (deterministic)
+
+	// Stats.
+	accesses   uint64
+	hits       uint64
+	writebacks uint64
+}
+
+// New returns an empty cache. It panics on a geometry that does not divide
+// evenly, since that is a configuration bug.
+func New(cfg Config) *Cache {
+	if cfg.LineSize <= 0 || cfg.Assoc <= 0 || cfg.Size <= 0 {
+		panic(fmt.Sprintf("cache: bad config %+v", cfg))
+	}
+	lines := cfg.Size / cfg.LineSize
+	if lines%cfg.Assoc != 0 {
+		panic(fmt.Sprintf("cache: %d lines not divisible by assoc %d", lines, cfg.Assoc))
+	}
+	numSets := lines / cfg.Assoc
+	sets := make([][]line, numSets)
+	backing := make([]line, lines)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	return &Cache{cfg: cfg, sets: sets, numSets: numSets, rng: 0x9e3779b97f4a7c15}
+}
+
+// nextRand is a deterministic xorshift64 step.
+func (c *Cache) nextRand() uint64 {
+	c.rng ^= c.rng << 13
+	c.rng ^= c.rng >> 7
+	c.rng ^= c.rng << 17
+	return c.rng
+}
+
+// Result describes the outcome of one access.
+type Result struct {
+	Hit bool
+	// Writeback is set when a dirty victim was evicted; Victim is the
+	// address of its first byte.
+	Writeback bool
+	Victim    uint64
+}
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	lineAddr := addr / uint64(c.cfg.LineSize)
+	return int(lineAddr % uint64(c.numSets)), lineAddr / uint64(c.numSets)
+}
+
+// Access looks up addr, allocating on miss, and returns what happened.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	c.accesses++
+	c.ticks++
+	setIdx, tag := c.index(addr)
+	set := c.sets[setIdx]
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.hits++
+			set[i].lru = c.ticks
+			if write {
+				set[i].dirty = true
+			}
+			return Result{Hit: true}
+		}
+	}
+
+	// Miss: pick the invalid way, else the policy's victim.
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		if c.cfg.Policy == Random {
+			victim = int(c.nextRand() % uint64(len(set)))
+		} else {
+			victim = 0
+			for i := range set {
+				if set[i].lru < set[victim].lru {
+					victim = i
+				}
+			}
+		}
+	}
+	res := Result{}
+	if set[victim].valid && set[victim].dirty {
+		res.Writeback = true
+		res.Victim = c.victimAddr(setIdx, set[victim].tag)
+		c.writebacks++
+	}
+	set[victim] = line{tag: tag, valid: true, dirty: write, lru: c.ticks}
+	return res
+}
+
+// Probe reports whether addr is present without touching LRU or stats.
+func (c *Cache) Probe(addr uint64) bool {
+	setIdx, tag := c.index(addr)
+	for _, l := range c.sets[setIdx] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// victimAddr reconstructs a line's base address from its set and tag.
+func (c *Cache) victimAddr(set int, tag uint64) uint64 {
+	return (tag*uint64(c.numSets) + uint64(set)) * uint64(c.cfg.LineSize)
+}
+
+// Touch loads every line of [addr, addr+size), as the firmware does when it
+// builds a queue entry; it is Access in a loop, provided for convenience.
+func (c *Cache) Touch(addr uint64, size int, write bool) (misses int) {
+	ls := uint64(c.cfg.LineSize)
+	for a := addr &^ (ls - 1); a < addr+uint64(size); a += ls {
+		if r := c.Access(a, write); !r.Hit {
+			misses++
+		}
+	}
+	return misses
+}
+
+// Flush invalidates everything (statistics are preserved).
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+}
+
+// LineSize returns the configured line size in bytes.
+func (c *Cache) LineSize() int { return c.cfg.LineSize }
+
+// Accesses reports the total number of lookups.
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// Hits reports the number of lookups that hit.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses reports the number of lookups that missed.
+func (c *Cache) Misses() uint64 { return c.accesses - c.hits }
+
+// Writebacks reports how many dirty victims were evicted.
+func (c *Cache) Writebacks() uint64 { return c.writebacks }
+
+// HitRate returns hits/accesses (1.0 when there were no accesses).
+func (c *Cache) HitRate() float64 {
+	if c.accesses == 0 {
+		return 1
+	}
+	return float64(c.hits) / float64(c.accesses)
+}

@@ -1,0 +1,49 @@
+package dma
+
+import (
+	"testing"
+
+	"alpusim/internal/sim"
+)
+
+func TestTransferTime(t *testing.T) {
+	e := New("rx", 60*sim.Nanosecond, 2)
+	if got := e.TransferTime(0); got != 60*sim.Nanosecond {
+		t.Errorf("zero-byte transfer = %v, want setup only (60ns)", got)
+	}
+	if got := e.TransferTime(4096); got != (60+2048)*sim.Nanosecond {
+		t.Errorf("4KB transfer = %v, want 2108ns", got)
+	}
+	if got := e.TransferTime(-5); got != 60*sim.Nanosecond {
+		t.Errorf("negative size = %v, want setup only", got)
+	}
+}
+
+func TestTransferSerialisation(t *testing.T) {
+	e := New("tx", 10*sim.Nanosecond, 2)
+	d1 := e.Transfer(0, 100) // 10 + 50 = done at 60
+	if d1 != 60*sim.Nanosecond {
+		t.Fatalf("first transfer done at %v, want 60ns", d1)
+	}
+	d2 := e.Transfer(0, 100) // queued behind the first
+	if d2 != 120*sim.Nanosecond {
+		t.Fatalf("second transfer done at %v, want 120ns", d2)
+	}
+	if e.StallTime() != 60*sim.Nanosecond {
+		t.Errorf("StallTime = %v, want 60ns", e.StallTime())
+	}
+	d3 := e.Transfer(sim.Microsecond, 100) // idle engine: no queueing
+	if d3 != sim.Microsecond+60*sim.Nanosecond {
+		t.Fatalf("third transfer done at %v", d3)
+	}
+	if e.Transfers() != 3 || e.Bytes() != 300 {
+		t.Errorf("Transfers=%d Bytes=%d", e.Transfers(), e.Bytes())
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	e := New("d", 0, 0)
+	if e.TransferTime(0) <= 0 {
+		t.Fatal("default setup not positive")
+	}
+}

@@ -1,0 +1,106 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+
+	"alpusim/internal/alpu"
+)
+
+func relErr(got, want int) float64 {
+	return math.Abs(float64(got-want)) / float64(want)
+}
+
+// The estimator must land on the published Tables IV and V within the
+// documented tolerances.
+func TestEstimatorMatchesPublishedTables(t *testing.T) {
+	for _, v := range []alpu.Variant{alpu.PostedReceives, alpu.UnexpectedMessages} {
+		for _, pub := range PublishedFor(v) {
+			p := PrototypeParams(v, pub.Cells, pub.BlockSize)
+			e := p.Estimate()
+			name := v.String()
+			if err := relErr(e.FFs, pub.FFs); err > 0.003 {
+				t.Errorf("%s %d/%d: FFs %d vs published %d (%.2f%%)",
+					name, pub.Cells, pub.BlockSize, e.FFs, pub.FFs, err*100)
+			}
+			if err := relErr(e.LUTs, pub.LUTs); err > 0.003 {
+				t.Errorf("%s %d/%d: LUTs %d vs published %d (%.2f%%)",
+					name, pub.Cells, pub.BlockSize, e.LUTs, pub.LUTs, err*100)
+			}
+			if err := relErr(e.Slices, pub.Slices); err > 0.025 {
+				t.Errorf("%s %d/%d: slices %d vs published %d (%.2f%%)",
+					name, pub.Cells, pub.BlockSize, e.Slices, pub.Slices, err*100)
+			}
+			if d := math.Abs(e.FreqMHz - pub.FreqMHz); d > 1.5 {
+				t.Errorf("%s %d/%d: freq %.1f vs published %.1f",
+					name, pub.Cells, pub.BlockSize, e.FreqMHz, pub.FreqMHz)
+			}
+			if e.LatencyCycles != pub.LatencyCycles {
+				t.Errorf("%s %d/%d: latency %d vs published %d",
+					name, pub.Cells, pub.BlockSize, e.LatencyCycles, pub.LatencyCycles)
+			}
+		}
+	}
+}
+
+func TestPostedLargerThanUnexpected(t *testing.T) {
+	// The posted-receive cell stores mask bits, so at equal geometry it
+	// must cost more FFs and slices (compare Tables IV and V).
+	for _, g := range []alpu.Geometry{{Cells: 128, BlockSize: 16}, {Cells: 256, BlockSize: 8}} {
+		pr := PrototypeParams(alpu.PostedReceives, g.Cells, g.BlockSize).Estimate()
+		un := PrototypeParams(alpu.UnexpectedMessages, g.Cells, g.BlockSize).Estimate()
+		if pr.FFs <= un.FFs {
+			t.Errorf("geometry %+v: posted FFs %d <= unexpected FFs %d", g, pr.FFs, un.FFs)
+		}
+		if pr.Slices <= un.Slices {
+			t.Errorf("geometry %+v: posted slices %d <= unexpected slices %d", g, pr.Slices, un.Slices)
+		}
+	}
+}
+
+func TestScalingTrends(t *testing.T) {
+	// Doubling the cells roughly doubles the resources.
+	small := PrototypeParams(alpu.PostedReceives, 128, 16).Estimate()
+	big := PrototypeParams(alpu.PostedReceives, 256, 16).Estimate()
+	if r := float64(big.FFs) / float64(small.FFs); r < 1.9 || r > 2.1 {
+		t.Errorf("FF scaling 128->256 = %.2f, want ~2", r)
+	}
+	// Bigger blocks cost fewer slices but clock slower (Tables IV/V trend).
+	bs8 := PrototypeParams(alpu.PostedReceives, 256, 8).Estimate()
+	bs32 := PrototypeParams(alpu.PostedReceives, 256, 32).Estimate()
+	if bs32.Slices >= bs8.Slices {
+		t.Errorf("slices bs32 (%d) >= bs8 (%d)", bs32.Slices, bs8.Slices)
+	}
+	if bs32.FreqMHz >= bs8.FreqMHz {
+		t.Errorf("freq bs32 (%.1f) >= bs8 (%.1f)", bs32.FreqMHz, bs8.FreqMHz)
+	}
+}
+
+func TestASICFrequencyNear500MHz(t *testing.T) {
+	// §VI-A: "the prototypes would all run at about 500MHz" as ASICs.
+	for _, v := range []alpu.Variant{alpu.PostedReceives, alpu.UnexpectedMessages} {
+		for _, pub := range PublishedFor(v) {
+			e := PrototypeParams(v, pub.Cells, pub.BlockSize).Estimate()
+			f := e.ASICFreqMHz()
+			if f < 450 || f > 600 {
+				t.Errorf("%s %d/%d: ASIC projection %.0f MHz, want ~500", v, pub.Cells, pub.BlockSize, f)
+			}
+		}
+	}
+}
+
+func TestUnprototypedGeometry(t *testing.T) {
+	// The estimator extrapolates to geometries the paper did not build
+	// without producing nonsense.
+	e := PrototypeParams(alpu.PostedReceives, 512, 16).Estimate()
+	if e.FFs <= 0 || e.LUTs <= 0 || e.Slices <= 0 || e.FreqMHz <= 0 {
+		t.Fatalf("bad estimate %+v", e)
+	}
+	ref := PrototypeParams(alpu.PostedReceives, 256, 16).Estimate()
+	if e.FFs < 2*ref.FFs-200 {
+		t.Errorf("512-cell FFs %d not ~2x the 256-cell %d", e.FFs, ref.FFs)
+	}
+	if e.LatencyCycles != 7 {
+		t.Errorf("512/16 latency = %d, want 7 (32 blocks)", e.LatencyCycles)
+	}
+}

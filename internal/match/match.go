@@ -1,0 +1,178 @@
+// Package match implements MPI point-to-point matching semantics (§II of
+// the paper): the {context, source, tag} triple, wildcard rules
+// (MPI_ANY_SOURCE / MPI_ANY_TAG; the context must always match exactly),
+// packing into the ALPU's 42-bit match word, and the software queue
+// structures — the linear list every published MPI implementation of the
+// era used, and the hash-table alternative the paper's §II explains was
+// explored and rejected.
+package match
+
+import (
+	"fmt"
+
+	"alpusim/internal/params"
+)
+
+// Wildcard values for Recv selection criteria.
+const (
+	AnySource int32 = -1 // MPI_ANY_SOURCE
+	AnyTag    int32 = -1 // MPI_ANY_TAG
+)
+
+// Header is the matching envelope carried by every message.
+type Header struct {
+	Context uint16 // communicator context id (11 bits used)
+	Source  int32  // sender's rank within the communicator (15 bits used)
+	Tag     int32  // user tag (16 bits used)
+}
+
+func (h Header) String() string {
+	return fmt.Sprintf("{ctx=%d src=%d tag=%d}", h.Context, h.Source, h.Tag)
+}
+
+// Recv is the selection criterion of a posted receive; Source and Tag may
+// be wildcards, Context may not (§II).
+type Recv struct {
+	Context uint16
+	Source  int32
+	Tag     int32
+}
+
+// Bits is the packed match word fed to the ALPU. Layout (LSB first):
+// tag[16] | source[15] | context[11], 42 bits total (§VI-A).
+type Bits uint64
+
+// Field masks within a Bits word.
+const (
+	tagShift = 0
+	srcShift = params.TagFieldBits
+	ctxShift = params.TagFieldBits + params.SourceBits
+
+	tagMask Bits = (1 << params.TagFieldBits) - 1
+	srcMask Bits = ((1 << params.SourceBits) - 1) << srcShift
+	ctxMask Bits = ((1 << params.ContextBits) - 1) << ctxShift
+
+	// FullMask compares every bit (no wildcards).
+	FullMask Bits = tagMask | srcMask | ctxMask
+)
+
+// Pack encodes a header into a match word.
+func Pack(h Header) Bits {
+	return Bits(uint64(h.Tag)&(uint64(tagMask))) |
+		Bits(uint64(h.Source)<<srcShift)&srcMask |
+		Bits(uint64(h.Context)<<ctxShift)&ctxMask
+}
+
+// Unpack decodes a match word back into a header.
+func (b Bits) Unpack() Header {
+	return Header{
+		Context: uint16((b & ctxMask) >> ctxShift),
+		Source:  int32((b & srcMask) >> srcShift),
+		Tag:     int32(b & tagMask),
+	}
+}
+
+// PackRecv encodes a receive's criteria as a match word and a mask whose
+// set bits mark positions that must compare equal ("don't care" bits are
+// clear, as in the ALPU cell's compare logic, §III-A).
+func PackRecv(r Recv) (Bits, Bits) {
+	mask := FullMask
+	h := Header{Context: r.Context}
+	if r.Source == AnySource {
+		mask &^= srcMask
+	} else {
+		h.Source = r.Source
+	}
+	if r.Tag == AnyTag {
+		mask &^= tagMask
+	} else {
+		h.Tag = r.Tag
+	}
+	return Pack(h), mask
+}
+
+// Matches reports whether two match words agree on every position that both
+// masks care about. An exact item (a stored header) carries FullMask.
+func Matches(aBits, aMask, bBits, bMask Bits) bool {
+	return (aBits^bBits)&aMask&bMask == 0
+}
+
+// RecvMatches reports whether a posted receive's criteria select a header.
+func RecvMatches(r Recv, h Header) bool {
+	rb, rm := PackRecv(r)
+	return Matches(rb, rm, Pack(h), FullMask)
+}
+
+// Entry is one element of a matching queue. The same structure backs both
+// the posted receive queue (Bits/Mask from PackRecv) and the unexpected
+// queue (Bits from Pack, Mask = FullMask).
+type Entry struct {
+	Bits Bits
+	Mask Bits
+	Seq  uint64 // posting order, for ordering-constraint checks
+	Addr uint64 // simulated NIC-memory address (drives the cache model)
+	Req  any    // owning request or unexpected-message record
+}
+
+// List is the baseline software queue: a linear list traversed in posting
+// order, as in MPICH/LAM/MPI-Pro/MPICH2/LA-MPI (§II).
+type List struct {
+	entries []*Entry
+	seq     uint64
+}
+
+// Len returns the number of queued entries.
+func (l *List) Len() int { return len(l.entries) }
+
+// At returns the i-th oldest entry.
+func (l *List) At(i int) *Entry { return l.entries[i] }
+
+// Append adds e at the tail (newest), stamping its Seq.
+func (l *List) Append(e *Entry) {
+	l.seq++
+	e.Seq = l.seq
+	l.entries = append(l.entries, e)
+}
+
+// FindFirst returns the index of the first (oldest) entry matching the
+// probe, or -1. This is the pure matching function; traversal *cost* is
+// charged by the firmware that walks the list.
+func (l *List) FindFirst(probeBits, probeMask Bits) int {
+	for i, e := range l.entries {
+		if Matches(e.Bits, e.Mask, probeBits, probeMask) {
+			return i
+		}
+	}
+	return -1
+}
+
+// FindFrom behaves like FindFirst but starts at index from (used to search
+// only the portion of the queue not yet loaded into the ALPU, §IV-D).
+func (l *List) FindFrom(from int, probeBits, probeMask Bits) int {
+	for i := from; i < len(l.entries); i++ {
+		e := l.entries[i]
+		if Matches(e.Bits, e.Mask, probeBits, probeMask) {
+			return i
+		}
+	}
+	return -1
+}
+
+// RemoveAt deletes and returns the i-th entry, preserving order.
+func (l *List) RemoveAt(i int) *Entry {
+	e := l.entries[i]
+	copy(l.entries[i:], l.entries[i+1:])
+	l.entries[len(l.entries)-1] = nil
+	l.entries = l.entries[:len(l.entries)-1]
+	return e
+}
+
+// IndexOf returns the position of e, or -1.
+func (l *List) IndexOf(e *Entry) int {
+	for i, x := range l.entries {
+		if x == e {
+			return i
+		}
+	}
+	return -1
+}

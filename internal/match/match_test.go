@@ -1,0 +1,303 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	cases := []Header{
+		{Context: 0, Source: 0, Tag: 0},
+		{Context: 1, Source: 2, Tag: 3},
+		{Context: 2047, Source: 32767, Tag: 65535},
+		{Context: 1234, Source: 9999, Tag: 42},
+	}
+	for _, h := range cases {
+		got := Pack(h).Unpack()
+		if got != h {
+			t.Errorf("Pack/Unpack(%v) = %v", h, got)
+		}
+	}
+}
+
+func TestPackRoundTripProperty(t *testing.T) {
+	f := func(ctx uint16, src uint16, tag uint16) bool {
+		h := Header{
+			Context: ctx & 0x7ff,
+			Source:  int32(src & 0x7fff),
+			Tag:     int32(tag),
+		}
+		return Pack(h).Unpack() == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackFieldsDoNotOverlap(t *testing.T) {
+	a := Pack(Header{Context: 0x7ff})
+	b := Pack(Header{Source: 0x7fff})
+	c := Pack(Header{Tag: 0xffff})
+	if a&b != 0 || a&c != 0 || b&c != 0 {
+		t.Fatalf("field encodings overlap: ctx=%b src=%b tag=%b", a, b, c)
+	}
+	if a|b|c != FullMask {
+		t.Fatalf("fields do not cover FullMask: %b vs %b", a|b|c, FullMask)
+	}
+}
+
+func TestRecvMatchesExact(t *testing.T) {
+	r := Recv{Context: 5, Source: 3, Tag: 7}
+	if !RecvMatches(r, Header{Context: 5, Source: 3, Tag: 7}) {
+		t.Fatal("exact triple did not match")
+	}
+	for _, h := range []Header{
+		{Context: 6, Source: 3, Tag: 7},
+		{Context: 5, Source: 4, Tag: 7},
+		{Context: 5, Source: 3, Tag: 8},
+	} {
+		if RecvMatches(r, h) {
+			t.Errorf("mismatched header %v matched", h)
+		}
+	}
+}
+
+func TestRecvMatchesWildcards(t *testing.T) {
+	anySrc := Recv{Context: 5, Source: AnySource, Tag: 7}
+	if !RecvMatches(anySrc, Header{Context: 5, Source: 999, Tag: 7}) {
+		t.Fatal("ANY_SOURCE did not match")
+	}
+	if RecvMatches(anySrc, Header{Context: 5, Source: 999, Tag: 8}) {
+		t.Fatal("ANY_SOURCE matched wrong tag")
+	}
+	anyTag := Recv{Context: 5, Source: 3, Tag: AnyTag}
+	if !RecvMatches(anyTag, Header{Context: 5, Source: 3, Tag: 12345}) {
+		t.Fatal("ANY_TAG did not match")
+	}
+	if RecvMatches(anyTag, Header{Context: 5, Source: 4, Tag: 12345}) {
+		t.Fatal("ANY_TAG matched wrong source")
+	}
+	both := Recv{Context: 5, Source: AnySource, Tag: AnyTag}
+	if !RecvMatches(both, Header{Context: 5, Source: 1, Tag: 2}) {
+		t.Fatal("double wildcard did not match")
+	}
+	// Context is never wildcarded (§II).
+	if RecvMatches(both, Header{Context: 6, Source: 1, Tag: 2}) {
+		t.Fatal("double wildcard matched wrong context")
+	}
+}
+
+func TestMatchesSymmetric(t *testing.T) {
+	rb, rm := PackRecv(Recv{Context: 1, Source: AnySource, Tag: 9})
+	hb := Pack(Header{Context: 1, Source: 44, Tag: 9})
+	if !Matches(rb, rm, hb, FullMask) || !Matches(hb, FullMask, rb, rm) {
+		t.Fatal("Matches is not symmetric")
+	}
+}
+
+func TestListAppendFindRemove(t *testing.T) {
+	var l List
+	mk := func(tag int32) *Entry {
+		b, m := PackRecv(Recv{Context: 1, Source: 0, Tag: tag})
+		return &Entry{Bits: b, Mask: m}
+	}
+	e1, e2, e3 := mk(1), mk(2), mk(1)
+	l.Append(e1)
+	l.Append(e2)
+	l.Append(e3)
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if e1.Seq >= e2.Seq || e2.Seq >= e3.Seq {
+		t.Fatal("Seq not monotone")
+	}
+	probe := Pack(Header{Context: 1, Source: 0, Tag: 1})
+	// First match must be the oldest (e1), not the "best" or newest.
+	if i := l.FindFirst(probe, FullMask); i != 0 {
+		t.Fatalf("FindFirst = %d, want 0", i)
+	}
+	got := l.RemoveAt(0)
+	if got != e1 {
+		t.Fatal("RemoveAt returned wrong entry")
+	}
+	// Now the first tag-1 match is e3 at index 1.
+	if i := l.FindFirst(probe, FullMask); i != 1 || l.At(i) != e3 {
+		t.Fatalf("after removal FindFirst = %d", i)
+	}
+	if i := l.IndexOf(e2); i != 0 {
+		t.Fatalf("IndexOf(e2) = %d, want 0", i)
+	}
+	if i := l.IndexOf(e1); i != -1 {
+		t.Fatalf("IndexOf(removed) = %d, want -1", i)
+	}
+}
+
+func TestListFindFrom(t *testing.T) {
+	var l List
+	for i := 0; i < 5; i++ {
+		b, m := PackRecv(Recv{Context: 1, Source: 0, Tag: 7})
+		l.Append(&Entry{Bits: b, Mask: m})
+	}
+	probe := Pack(Header{Context: 1, Source: 0, Tag: 7})
+	if i := l.FindFrom(3, probe, FullMask); i != 3 {
+		t.Fatalf("FindFrom(3) = %d, want 3", i)
+	}
+	if i := l.FindFrom(5, probe, FullMask); i != -1 {
+		t.Fatalf("FindFrom(past end) = %d, want -1", i)
+	}
+}
+
+// MPI ordering constraint: an ANY_SOURCE receive posted before an explicit
+// one must win even though the explicit one is the "more exact" match
+// (the paper's §II LPM discussion).
+func TestOrderingBeatsExactness(t *testing.T) {
+	var l List
+	wb, wm := PackRecv(Recv{Context: 1, Source: AnySource, Tag: 4})
+	eb, em := PackRecv(Recv{Context: 1, Source: 2, Tag: 4})
+	wild := &Entry{Bits: wb, Mask: wm}
+	exact := &Entry{Bits: eb, Mask: em}
+	l.Append(wild)
+	l.Append(exact)
+	probe := Pack(Header{Context: 1, Source: 2, Tag: 4})
+	if i := l.FindFirst(probe, FullMask); l.At(i) != wild {
+		t.Fatal("explicit-source entry selected over earlier wildcard")
+	}
+}
+
+func randomEntry(rng *rand.Rand) *Entry {
+	r := Recv{
+		Context: uint16(rng.Intn(4)),
+		Source:  int32(rng.Intn(4)),
+		Tag:     int32(rng.Intn(4)),
+	}
+	if rng.Intn(4) == 0 {
+		r.Source = AnySource
+	}
+	if rng.Intn(8) == 0 {
+		r.Tag = AnyTag
+	}
+	b, m := PackRecv(r)
+	return &Entry{Bits: b, Mask: m}
+}
+
+// Property: HashList.FindFirst agrees with the linear list's first-match
+// semantics for arbitrary posting orders, wildcards and probes.
+func TestHashListEquivalentToList(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var l List
+		h := NewHashList()
+		entries := make([]*Entry, 0, 32)
+		for i := 0; i < 32; i++ {
+			e := randomEntry(rng)
+			// Two structures share the entry; List stamps Seq first and
+			// HashList must honour it, so stamp via List then force-sync.
+			l.Append(e)
+			h.seq = e.Seq - 1
+			h.Append(e)
+			entries = append(entries, e)
+		}
+		for probe := 0; probe < 50; probe++ {
+			ph := Header{
+				Context: uint16(rng.Intn(4)),
+				Source:  int32(rng.Intn(4)),
+				Tag:     int32(rng.Intn(4)),
+			}
+			pb := Pack(ph)
+			li := l.FindFirst(pb, FullMask)
+			he := h.FindFirst(pb, FullMask)
+			if (li == -1) != (he == nil) {
+				return false
+			}
+			if li != -1 && l.At(li) != he {
+				return false
+			}
+			// Occasionally consume the match from both.
+			if li != -1 && rng.Intn(2) == 0 {
+				e := l.RemoveAt(li)
+				if !h.Remove(e) {
+					return false
+				}
+			}
+		}
+		_ = entries
+		return l.Len() == h.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: wildcard probes against a HashList of exact entries (the
+// unexpected-queue direction, §II "reverse lookup") match the list.
+func TestHashListWildcardProbeEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var l List
+		h := NewHashList()
+		for i := 0; i < 24; i++ {
+			hd := Header{
+				Context: uint16(rng.Intn(3)),
+				Source:  int32(rng.Intn(3)),
+				Tag:     int32(rng.Intn(3)),
+			}
+			e := &Entry{Bits: Pack(hd), Mask: FullMask}
+			l.Append(e)
+			h.seq = e.Seq - 1
+			h.Append(e)
+		}
+		for probe := 0; probe < 30; probe++ {
+			r := Recv{
+				Context: uint16(rng.Intn(3)),
+				Source:  int32(rng.Intn(3)),
+				Tag:     int32(rng.Intn(3)),
+			}
+			switch rng.Intn(3) {
+			case 0:
+				r.Source = AnySource
+			case 1:
+				r.Tag = AnyTag
+			}
+			pb, pm := PackRecv(r)
+			li := l.FindFirst(pb, pm)
+			he := h.FindFirst(pb, pm)
+			if (li == -1) != (he == nil) {
+				return false
+			}
+			if li != -1 && l.At(li) != he {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashListInsertCostExceedsList(t *testing.T) {
+	h := NewHashList()
+	for i := 0; i < 100; i++ {
+		b := Pack(Header{Context: 1, Source: int32(i), Tag: 0})
+		h.Append(&Entry{Bits: b, Mask: FullMask})
+	}
+	// §II: hash insert is meaningfully more expensive than list append
+	// (one step). The model charges 3 steps per insert.
+	if h.InsertSteps < 300 {
+		t.Fatalf("InsertSteps = %d, want >= 300", h.InsertSteps)
+	}
+}
+
+func TestHashListRemoveMissing(t *testing.T) {
+	h := NewHashList()
+	e := &Entry{Bits: Pack(Header{Context: 1}), Mask: FullMask}
+	if h.Remove(e) {
+		t.Fatal("Remove of absent entry reported true")
+	}
+	wb, wm := PackRecv(Recv{Context: 1, Source: AnySource, Tag: 0})
+	w := &Entry{Bits: wb, Mask: wm}
+	if h.Remove(w) {
+		t.Fatal("Remove of absent wildcard entry reported true")
+	}
+}

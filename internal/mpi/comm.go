@@ -1,0 +1,354 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"alpusim/internal/sim"
+)
+
+// Comm is a communicator handle held by one rank: a context id (the
+// system-assigned safe matching space of §II) plus the ordered group of
+// participating world ranks. MPI_COMM_WORLD is Comm() on any rank;
+// Split derives new communicators, each with a fresh context, so traffic
+// in one communicator can never match receives of another — the property
+// the ALPU's context field exists to preserve.
+type Comm struct {
+	r     *Rank
+	ctx   uint16
+	ranks []int // world ranks, indexed by local rank
+	local int   // this process's local rank
+	seq   int   // per-communicator collective/split sequence number
+}
+
+// Comm returns this rank's MPI_COMM_WORLD handle.
+func (r *Rank) Comm() *Comm {
+	ranks := make([]int, r.Size())
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return &Comm{r: r, ctx: worldContext, ranks: ranks, local: r.id}
+}
+
+// Rank returns the calling process's rank within the communicator.
+func (c *Comm) Rank() int { return c.local }
+
+// Size returns the communicator's group size.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Context exposes the context id (tests and instrumentation).
+func (c *Comm) Context() uint16 { return c.ctx }
+
+// WorldRank translates a communicator rank to a world rank.
+func (c *Comm) WorldRank(local int) int { return c.ranks[local] }
+
+// Isend starts a nonblocking send to a communicator rank.
+func (c *Comm) Isend(dst, tag, size int) *Request {
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("mpi: Isend to invalid rank %d of comm size %d", dst, c.Size()))
+	}
+	// The envelope's source is the sender's rank within this communicator
+	// (§II: "the local rank of the sending process within the
+	// communicator").
+	return c.r.isendAs(c.ctx, uint16(c.local), c.ranks[dst], tag, size)
+}
+
+// Irecv posts a nonblocking receive on the communicator. src may be
+// AnySource.
+func (c *Comm) Irecv(src, tag, size int) *Request {
+	if src != AnySource && (src < 0 || src >= c.Size()) {
+		panic(fmt.Sprintf("mpi: Irecv from invalid rank %d of comm size %d", src, c.Size()))
+	}
+	return c.r.irecv(c.ctx, src, tag, size)
+}
+
+// Iprobe checks for a waiting unexpected message on the communicator.
+func (c *Comm) Iprobe(src, tag int) (bool, Status) {
+	if src != AnySource && (src < 0 || src >= c.Size()) {
+		panic(fmt.Sprintf("mpi: Iprobe from invalid rank %d of comm size %d", src, c.Size()))
+	}
+	return c.r.iprobe(c.ctx, src, tag)
+}
+
+// Send is the blocking send.
+func (c *Comm) Send(dst, tag, size int) { c.r.Wait(c.Isend(dst, tag, size)) }
+
+// Recv is the blocking receive.
+func (c *Comm) Recv(src, tag, size int) { c.r.Wait(c.Irecv(src, tag, size)) }
+
+// Reserved tag space for communicator-internal traffic (collectives,
+// Split exchanges). User tags should stay below commTagBase.
+const (
+	commTagBase = 0x7000
+	tagSplit    = commTagBase + 0x000
+	tagBcast    = commTagBase + 0x100
+	tagReduce   = commTagBase + 0x200
+	tagGather   = commTagBase + 0x300
+	tagAlltoall = commTagBase + 0x400
+	tagDissem   = commTagBase + 0x500
+	tagScatter  = commTagBase + 0x600
+	tagAllgath  = commTagBase + 0x700
+)
+
+// Split partitions the communicator by color, ordering each new group by
+// (key, rank) — MPI_Comm_split. It is collective: every member must call
+// it in the same program order. The color/key exchange happens with real
+// messages (an allgather over the parent communicator), and the new
+// context id is assigned consistently on every member through the
+// world-level context table.
+func (c *Comm) Split(color, key int) *Comm {
+	c.seq++
+	n := c.Size()
+	// Allgather (color, key) over the parent communicator: linear gather
+	// to local rank 0 followed by a broadcast, on reserved tags. Values
+	// ride in the message tag-free: the simulation does not model
+	// payloads, so the exchange is mirrored through the world (the
+	// messages themselves still cross the simulated network with real
+	// sizes and matching).
+	type ck struct{ color, key, world int }
+	all := make([]ck, n)
+	all[c.local] = ck{color, key, c.r.id}
+	// The world-level blackboard carries the values; the messages carry
+	// the synchronisation. Deterministic lock-step makes this exact.
+	board := c.r.w.splitBoard(c.ctx, c.seq, n)
+	board[c.local] = ck{color, key, c.r.id}
+
+	gtag := tagSplit + (c.seq&0x7f)<<1
+	if c.local == 0 {
+		for src := 1; src < n; src++ {
+			c.Recv(src, gtag, 8)
+		}
+		for dst := 1; dst < n; dst++ {
+			c.Send(dst, gtag+1, 8*n)
+		}
+	} else {
+		c.Send(0, gtag, 8)
+		c.Recv(0, gtag+1, 8*n)
+	}
+	for i := 0; i < n; i++ {
+		all[i] = board[i].(ck)
+	}
+
+	// Select my color group, order by (key, world rank).
+	var group []ck
+	for _, e := range all {
+		if e.color == color {
+			group = append(group, e)
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].key != group[j].key {
+			return group[i].key < group[j].key
+		}
+		return group[i].world < group[j].world
+	})
+	ranks := make([]int, len(group))
+	local := -1
+	for i, e := range group {
+		ranks[i] = e.world
+		if e.world == c.r.id {
+			local = i
+		}
+	}
+	ctx := c.r.w.allocContext(fmt.Sprintf("split:%d:%d:%d", c.ctx, c.seq, color))
+	return &Comm{r: c.r, ctx: ctx, ranks: ranks, local: local}
+}
+
+// Dup returns a communicator with the same group but a fresh context
+// (MPI_Comm_dup): same-group traffic on the two communicators can never
+// cross-match.
+func (c *Comm) Dup() *Comm {
+	c.seq++
+	ctx := c.r.w.allocContext(fmt.Sprintf("dup:%d:%d", c.ctx, c.seq))
+	ranks := make([]int, len(c.ranks))
+	copy(ranks, c.ranks)
+	// Synchronise the group (a dup is collective): dissemination barrier
+	// on the parent context.
+	c.barrierOn(c.ctx, c.seq)
+	return &Comm{r: c.r, ctx: ctx, ranks: ranks, local: c.local}
+}
+
+// Barrier synchronises the communicator with a dissemination barrier:
+// log2(n) rounds of pairwise messages.
+func (c *Comm) Barrier() {
+	c.seq++
+	c.barrierOn(c.ctx, c.seq)
+}
+
+func (c *Comm) barrierOn(ctx uint16, seq int) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	for round, dist := 0, 1; dist < n; round, dist = round+1, dist*2 {
+		to := (c.local + dist) % n
+		from := (c.local - dist + n) % n
+		tag := tagDissem + (seq&0xf)<<4 + round
+		sreq := c.r.isendAs(ctx, uint16(c.local), c.ranks[to], tag, 0)
+		rreq := c.r.irecv(ctx, from, tag, 0)
+		c.r.Wait(sreq)
+		c.r.Wait(rreq)
+	}
+}
+
+// Bcast broadcasts size bytes from root with a binomial tree
+// (MPI_Bcast).
+func (c *Comm) Bcast(root, size int) {
+	c.seq++
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	// Rotate so the root is virtual rank 0.
+	vrank := (c.local - root + n) % n
+	tag := tagBcast + c.seq&0xff
+
+	// Receive from the parent (highest set bit), then forward down.
+	if vrank != 0 {
+		parent := vrank &^ (1 << (bitLen(vrank) - 1))
+		c.Recv((parent+root)%n, tag, size)
+	}
+	for dist := nextPow2(vrank + 1); dist < n; dist *= 2 {
+		child := vrank + dist
+		if child < n {
+			c.Send((child+root)%n, tag, size)
+		}
+	}
+}
+
+// Reduce combines size bytes from every rank at root with a reversed
+// binomial tree (MPI_Reduce). Payload contents are not modelled; the
+// traffic and matching are.
+func (c *Comm) Reduce(root, size int) {
+	c.seq++
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	vrank := (c.local - root + n) % n
+	tag := tagReduce + c.seq&0xff
+
+	for dist := 1; dist < n; dist *= 2 {
+		if vrank&dist != 0 {
+			// Send my partial to the partner and leave the tree.
+			c.Send((vrank-dist+root)%n, tag, size)
+			return
+		}
+		if vrank+dist < n {
+			c.Recv((vrank+dist+root)%n, tag, size)
+			c.r.Compute(reduceComputeTime(size))
+		}
+	}
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast (MPI_Allreduce built
+// from its parts, as the Fig. 4 footnote does for the composed calls).
+func (c *Comm) Allreduce(size int) {
+	c.Reduce(0, size)
+	c.Bcast(0, size)
+}
+
+// Gather collects size bytes from every rank at root (linear).
+func (c *Comm) Gather(root, size int) {
+	c.seq++
+	n := c.Size()
+	tag := tagGather + c.seq&0xff
+	if c.local == root {
+		reqs := make([]*Request, 0, n-1)
+		for src := 0; src < n; src++ {
+			if src != root {
+				reqs = append(reqs, c.Irecv(src, tag, size))
+			}
+		}
+		c.r.Waitall(reqs...)
+		return
+	}
+	c.Send(root, tag, size)
+}
+
+// Scatter distributes size bytes from root to every other rank (linear,
+// MPI_Scatter).
+func (c *Comm) Scatter(root, size int) {
+	c.seq++
+	n := c.Size()
+	tag := tagScatter + c.seq&0xff
+	if c.local == root {
+		reqs := make([]*Request, 0, n-1)
+		for dst := 0; dst < n; dst++ {
+			if dst != root {
+				reqs = append(reqs, c.Isend(dst, tag, size))
+			}
+		}
+		c.r.Waitall(reqs...)
+		return
+	}
+	c.Recv(root, tag, size)
+}
+
+// Allgather makes every rank's size bytes available everywhere with the
+// ring algorithm (MPI_Allgather): n-1 rounds, each forwarding the block
+// received in the previous round.
+func (c *Comm) Allgather(size int) {
+	c.seq++
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	tag := tagAllgath + c.seq&0xff
+	right := (c.local + 1) % n
+	left := (c.local - 1 + n) % n
+	for round := 0; round < n-1; round++ {
+		c.Sendrecv(right, tag, size, left, tag, size)
+	}
+}
+
+// Alltoall exchanges size bytes between every pair (rotation algorithm:
+// in round k, send to rank+k and receive from rank-k).
+func (c *Comm) Alltoall(size int) {
+	c.seq++
+	n := c.Size()
+	tag := tagAlltoall + c.seq&0xff
+	for round := 1; round < n; round++ {
+		to := (c.local + round) % n
+		from := (c.local - round + n) % n
+		c.Sendrecv(to, tag, size, from, tag, size)
+	}
+}
+
+// Sendrecv runs a send and a receive concurrently and waits for both
+// (MPI_Sendrecv).
+func (c *Comm) Sendrecv(dst, stag, ssize, src, rtag, rsize int) {
+	rreq := c.Irecv(src, rtag, rsize)
+	sreq := c.Isend(dst, stag, ssize)
+	c.r.Wait(sreq)
+	c.r.Wait(rreq)
+}
+
+// reduceComputeTime models the per-step combine cost of a reduction.
+func reduceComputeTime(size int) sim.Time {
+	const bytesPerNs = 4 // host-side combine bandwidth (fit)
+	ns := size / bytesPerNs
+	if ns < 50 {
+		ns = 50
+	}
+	return sim.Time(ns) * sim.Nanosecond
+}
+
+// bitLen returns the number of bits needed to represent v (v > 0).
+func bitLen(v int) int {
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// nextPow2 returns the smallest power of two >= v.
+func nextPow2(v int) int {
+	p := 1
+	for p < v {
+		p *= 2
+	}
+	return p
+}

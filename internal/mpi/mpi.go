@@ -1,0 +1,366 @@
+// Package mpi is the prototype MPI implementation of §V-C: the Fig. 4
+// subset (Init/Finalize, Comm_rank/size, Send/Isend, Recv/Irecv,
+// Wait/Waitall, Barrier) over MPI_COMM_WORLD, with all queue processing
+// performed on the simulated NIC. Application ranks are plain Go
+// functions co-simulated with the discrete event engine: each blocking
+// call consumes simulated time on the host CPU model, and code between
+// calls runs in zero simulated time (use Compute to model computation).
+package mpi
+
+import (
+	"fmt"
+
+	"alpusim/internal/host"
+	"alpusim/internal/match"
+	"alpusim/internal/network"
+	"alpusim/internal/nic"
+	"alpusim/internal/params"
+	"alpusim/internal/proc"
+	"alpusim/internal/sim"
+)
+
+// Wildcards, as in the MPI standard (§II).
+const (
+	AnySource = int(match.AnySource)
+	AnyTag    = int(match.AnyTag)
+)
+
+// worldContext is MPI_COMM_WORLD's context id; context 0 is reserved for
+// internal traffic (Barrier).
+const (
+	systemContext uint16 = 0
+	worldContext  uint16 = 1
+)
+
+// Config describes the simulated cluster.
+type Config struct {
+	// Ranks is the number of processes (= nodes; one rank per node).
+	Ranks int
+	// NIC is the per-node NIC configuration (ID is filled in per node).
+	NIC nic.Config
+	// WireLatency / LinkBandwidthBpns override the network (0 = Table III
+	// defaults).
+	WireLatency       sim.Time
+	LinkBandwidthBpns int
+}
+
+// World is a built cluster.
+type World struct {
+	Eng   *sim.Engine
+	Net   *network.Network
+	NICs  []*nic.NIC
+	Hosts []*host.Host
+
+	ranksLive int
+
+	// Communicator machinery: deterministic context allocation and the
+	// Split value blackboards (the simulation does not model payload
+	// bytes, so collective *values* ride beside the real messages).
+	nextCtx  uint16
+	ctxTable map[string]uint16
+	boards   map[string][]any
+}
+
+// NewWorld constructs the cluster: network, NICs (with optional ALPUs),
+// hosts.
+func NewWorld(cfg Config) *World {
+	if cfg.Ranks < 1 {
+		panic("mpi: need at least one rank")
+	}
+	eng := sim.NewEngine()
+	net := network.New(eng, cfg.Ranks, cfg.WireLatency, cfg.LinkBandwidthBpns)
+	w := &World{
+		Eng:      eng,
+		Net:      net,
+		nextCtx:  worldContext,
+		ctxTable: make(map[string]uint16),
+		boards:   make(map[string][]any),
+	}
+	for i := 0; i < cfg.Ranks; i++ {
+		nc := cfg.NIC
+		nc.ID = i
+		n := nic.New(eng, nc, net)
+		w.NICs = append(w.NICs, n)
+		w.Hosts = append(w.Hosts, host.New(eng, i, n))
+	}
+	return w
+}
+
+// Rank is the per-process MPI handle passed to application programs.
+type Rank struct {
+	w  *World
+	id int
+	p  *sim.Process
+	e  *proc.Engine
+	h  *host.Host
+}
+
+// Request is a nonblocking-operation handle.
+type Request struct {
+	hr   *host.Request
+	rank *Rank
+}
+
+// DoneAt reports when the completion became visible to the host (valid
+// after Wait). Benchmarks use it for cross-rank one-way latencies.
+func (req *Request) DoneAt() sim.Time { return req.hr.DoneAt }
+
+// Status is the completion envelope of a receive (MPI_Status): the rank
+// the matched message actually came from (essential for AnySource
+// receives), its tag, and its size.
+type Status struct {
+	Source int
+	Tag    int
+	Size   int
+}
+
+// Status returns the receive's completion status. Valid after the
+// request completed; sends return a zero Status.
+func (req *Request) Status() Status {
+	st := req.hr.Status
+	if !st.Valid {
+		return Status{Source: -1, Tag: -1}
+	}
+	return Status{Source: int(st.Source), Tag: int(st.Tag), Size: st.Size}
+}
+
+// Program is an application entry point (the rank's "main").
+type Program func(r *Rank)
+
+// SpawnRank starts prog as rank id.
+func (w *World) SpawnRank(id int, prog Program) {
+	h := w.Hosts[id]
+	w.ranksLive++
+	w.Eng.Spawn(fmt.Sprintf("rank%d", id), func(p *sim.Process) {
+		r := &Rank{
+			w:  w,
+			id: id,
+			p:  p,
+			e:  proc.New(p, params.HostCPU(), h.Mem()),
+			h:  h,
+		}
+		prog(r)
+		w.ranksLive--
+	})
+}
+
+// Run builds a world, runs prog on every rank, and simulates to
+// completion.
+func Run(cfg Config, prog Program) *World {
+	w := NewWorld(cfg)
+	for i := 0; i < cfg.Ranks; i++ {
+		w.SpawnRank(i, prog)
+	}
+	w.Eng.Run()
+	if w.ranksLive != 0 {
+		panic(fmt.Sprintf("mpi: deadlock — %d ranks still blocked when the event queue drained", w.ranksLive))
+	}
+	return w
+}
+
+// RunPrograms runs a distinct program per rank.
+func RunPrograms(cfg Config, progs []Program) *World {
+	if len(progs) != cfg.Ranks {
+		panic("mpi: len(progs) != cfg.Ranks")
+	}
+	w := NewWorld(cfg)
+	for i, prog := range progs {
+		w.SpawnRank(i, prog)
+	}
+	w.Eng.Run()
+	if w.ranksLive != 0 {
+		panic(fmt.Sprintf("mpi: deadlock — %d ranks still blocked when the event queue drained", w.ranksLive))
+	}
+	return w
+}
+
+// Rank returns the calling process's rank (MPI_Comm_rank on COMM_WORLD).
+func (r *Rank) Rank() int { return r.id }
+
+// Size returns the number of ranks (MPI_Comm_size on COMM_WORLD).
+func (r *Rank) Size() int { return len(r.w.Hosts) }
+
+// Now returns the current simulated time.
+func (r *Rank) Now() sim.Time { return r.p.Now() }
+
+// Compute models size-independent application computation.
+func (r *Rank) Compute(d sim.Time) { r.p.Sleep(d) }
+
+// World returns the cluster (for instrumentation).
+func (r *Rank) World() *World { return r.w }
+
+func (r *Rank) isend(ctx uint16, dst, tag, size int) *Request {
+	return r.isendAs(ctx, uint16(r.id), dst, tag, size)
+}
+
+// isendAs sends with an explicit envelope source (the sender's rank
+// within the communicator) to a world-rank destination.
+func (r *Rank) isendAs(ctx, srcLocal uint16, dstWorld, tag, size int) *Request {
+	if dstWorld < 0 || dstWorld >= r.Size() {
+		panic(fmt.Sprintf("mpi: rank %d Isend to invalid world rank %d", r.id, dstWorld))
+	}
+	id := r.h.NewID()
+	hr := r.h.Submit(r.e, nic.HostRequest{
+		Kind: nic.ReqSend,
+		ID:   id,
+		Dst:  dstWorld,
+		Hdr:  match.Header{Context: ctx, Source: int32(srcLocal), Tag: int32(tag)},
+		Size: size,
+	})
+	return &Request{hr: hr, rank: r}
+}
+
+// allocContext returns a stable fresh context id for a collective
+// derivation key; every rank computing the same key receives the same id.
+func (w *World) allocContext(key string) uint16 {
+	if c, ok := w.ctxTable[key]; ok {
+		return c
+	}
+	w.nextCtx++
+	if int(w.nextCtx) >= 1<<params.ContextBits {
+		panic("mpi: context ids exhausted")
+	}
+	w.ctxTable[key] = w.nextCtx
+	return w.nextCtx
+}
+
+// splitBoard returns the shared value board for one Split invocation.
+func (w *World) splitBoard(ctx uint16, seq, n int) []any {
+	key := fmt.Sprintf("%d:%d", ctx, seq)
+	if b, ok := w.boards[key]; ok {
+		return b
+	}
+	b := make([]any, n)
+	w.boards[key] = b
+	return b
+}
+
+func (r *Rank) irecv(ctx uint16, src, tag, size int) *Request {
+	if src != AnySource && (src < 0 || src >= r.Size()) {
+		panic(fmt.Sprintf("mpi: rank %d Irecv from invalid rank %d", r.id, src))
+	}
+	id := r.h.NewID()
+	hr := r.h.Submit(r.e, nic.HostRequest{
+		Kind:     nic.ReqRecv,
+		ID:       id,
+		Recv:     match.Recv{Context: ctx, Source: int32(src), Tag: int32(tag)},
+		RecvSize: size,
+	})
+	return &Request{hr: hr, rank: r}
+}
+
+// Isend starts a nonblocking send of size bytes (MPI_Isend).
+func (r *Rank) Isend(dst, tag, size int) *Request {
+	return r.isend(worldContext, dst, tag, size)
+}
+
+// Irecv posts a nonblocking receive (MPI_Irecv). src may be AnySource and
+// tag may be AnyTag.
+func (r *Rank) Irecv(src, tag, size int) *Request {
+	return r.irecv(worldContext, src, tag, size)
+}
+
+// Send is the blocking send (MPI_Send: built from Isend + Wait, Fig. 4).
+func (r *Rank) Send(dst, tag, size int) {
+	r.Wait(r.Isend(dst, tag, size))
+}
+
+// Recv is the blocking receive (MPI_Recv: Irecv + Wait, Fig. 4).
+func (r *Rank) Recv(src, tag, size int) {
+	r.Wait(r.Irecv(src, tag, size))
+}
+
+// Wait blocks until a request completes (MPI_Wait).
+func (r *Rank) Wait(req *Request) {
+	if req.rank != r {
+		panic("mpi: Wait on a request from another rank")
+	}
+	r.h.Wait(r.e, req.hr)
+}
+
+// Waitall blocks until every request completes (MPI_Waitall, built from
+// Wait per Fig. 4).
+func (r *Rank) Waitall(reqs ...*Request) {
+	for _, req := range reqs {
+		r.Wait(req)
+	}
+}
+
+// Iprobe checks whether a matching message is waiting in the unexpected
+// queue without receiving it (MPI_Iprobe). It returns whether one was
+// found and, if so, its status. Note the hardware angle (DESIGN.md): the
+// ALPU cannot serve probes — its matches are destructive — so this path
+// always costs a software traversal, even on an ALPU NIC.
+func (r *Rank) Iprobe(src, tag int) (bool, Status) {
+	return r.iprobe(worldContext, src, tag)
+}
+
+func (r *Rank) iprobe(ctx uint16, src, tag int) (bool, Status) {
+	if src != AnySource && (src < 0 || src >= r.Size()) {
+		panic(fmt.Sprintf("mpi: rank %d Iprobe from invalid rank %d", r.id, src))
+	}
+	id := r.h.NewID()
+	hr := r.h.Submit(r.e, nic.HostRequest{
+		Kind: nic.ReqProbe,
+		ID:   id,
+		Recv: match.Recv{Context: ctx, Source: int32(src), Tag: int32(tag)},
+	})
+	r.h.Wait(r.e, hr)
+	if !hr.Status.Valid {
+		return false, Status{Source: -1, Tag: -1}
+	}
+	return true, Status{Source: int(hr.Status.Source), Tag: int(hr.Status.Tag), Size: hr.Status.Size}
+}
+
+// Waitany blocks until at least one of the requests completes and
+// returns its index (MPI_Waitany).
+func (r *Rank) Waitany(reqs ...*Request) int {
+	if len(reqs) == 0 {
+		panic("mpi: Waitany with no requests")
+	}
+	for {
+		for i, req := range reqs {
+			if req.hr.Done {
+				r.e.Cycles(params.HostCompletionPoll)
+				r.h.Retire(req.hr)
+				return i
+			}
+		}
+		r.h.WaitAnyProgress(r.e)
+	}
+}
+
+// Done reports (without blocking beyond a status check) whether the
+// request has completed — MPI_Test.
+func (r *Rank) Done(req *Request) bool {
+	r.e.Cycles(params.HostCompletionPoll)
+	return req.hr.Done
+}
+
+// Barrier tags on the system context.
+const (
+	barrierGatherTag  = 0x7ff0
+	barrierReleaseTag = 0x7ff1
+)
+
+// Barrier synchronises all ranks (MPI_Barrier, built from point-to-point
+// operations per Fig. 4): a linear gather to rank 0 and a release fan-out.
+func (r *Rank) Barrier() {
+	size := r.Size()
+	if size == 1 {
+		return
+	}
+	if r.id == 0 {
+		for src := 1; src < size; src++ {
+			r.wait(r.irecv(systemContext, src, barrierGatherTag, 0))
+		}
+		for dst := 1; dst < size; dst++ {
+			r.wait(r.isend(systemContext, dst, barrierReleaseTag, 0))
+		}
+	} else {
+		r.wait(r.isend(systemContext, 0, barrierGatherTag, 0))
+		r.wait(r.irecv(systemContext, 0, barrierReleaseTag, 0))
+	}
+}
+
+func (r *Rank) wait(req *Request) { r.h.Wait(r.e, req.hr) }

@@ -1,0 +1,117 @@
+package mpi
+
+import "testing"
+
+func TestStatusExplicitRecv(t *testing.T) {
+	for name, cfg := range map[string]Config{"baseline": baseCfg(2), "alpu": alpuCfg(2, 64)} {
+		t.Run(name, func(t *testing.T) {
+			Run(cfg, func(r *Rank) {
+				if r.Rank() == 0 {
+					r.Send(1, 42, 128)
+				} else {
+					req := r.Irecv(0, 42, 128)
+					r.Wait(req)
+					st := req.Status()
+					if st.Source != 0 || st.Tag != 42 || st.Size != 128 {
+						t.Errorf("status = %+v, want src 0 tag 42 size 128", st)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestStatusAnySourceIdentifiesSender(t *testing.T) {
+	// Three senders, one AnySource receiver: the status must reveal who
+	// each message came from (the §II reason ANY_SOURCE codes cannot just
+	// be rewritten with explicit sources).
+	Run(alpuCfg(4, 64), func(r *Rank) {
+		if r.Rank() == 0 {
+			seen := map[int]bool{}
+			for i := 0; i < 3; i++ {
+				req := r.Irecv(AnySource, 7, 0)
+				r.Wait(req)
+				st := req.Status()
+				if st.Tag != 7 {
+					t.Errorf("tag = %d", st.Tag)
+				}
+				if st.Source < 1 || st.Source > 3 || seen[st.Source] {
+					t.Errorf("bad or duplicate source %d", st.Source)
+				}
+				seen[st.Source] = true
+			}
+		} else {
+			r.Send(0, 7, 0)
+		}
+	})
+}
+
+func TestStatusAnyTag(t *testing.T) {
+	Run(baseCfg(2), func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 1234, 64)
+		} else {
+			req := r.Irecv(0, AnyTag, 64)
+			r.Wait(req)
+			if st := req.Status(); st.Tag != 1234 {
+				t.Errorf("AnyTag status tag = %d, want 1234", st.Tag)
+			}
+		}
+	})
+}
+
+func TestStatusRendezvous(t *testing.T) {
+	// The status must survive the rendezvous path (captured at RTS match,
+	// delivered at DATA completion), both expected and unexpected.
+	Run(baseCfg(2), func(r *Rank) {
+		const big = 32 << 10
+		if r.Rank() == 0 {
+			r.Send(1, 5, big) // expected at rank 1 (receive posted first)
+			req := r.Isend(1, 6, big)
+			r.Barrier() // rank 1 hasn't posted: unexpected RTS
+			r.Wait(req)
+		} else {
+			req := r.Irecv(0, 5, big)
+			r.Wait(req)
+			if st := req.Status(); st.Source != 0 || st.Tag != 5 || st.Size != big {
+				t.Errorf("expected-rndv status = %+v", st)
+			}
+			r.Barrier()
+			req = r.Irecv(0, AnyTag, big)
+			r.Wait(req)
+			if st := req.Status(); st.Source != 0 || st.Tag != 6 || st.Size != big {
+				t.Errorf("unexpected-rndv status = %+v", st)
+			}
+		}
+	})
+}
+
+func TestStatusUnexpectedEager(t *testing.T) {
+	Run(alpuCfg(2, 64), func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 9, 256)
+			r.Barrier()
+		} else {
+			r.Barrier() // message is unexpected by now
+			req := r.Irecv(AnySource, AnyTag, 256)
+			r.Wait(req)
+			if st := req.Status(); st.Source != 0 || st.Tag != 9 || st.Size != 256 {
+				t.Errorf("unexpected-eager status = %+v", st)
+			}
+		}
+	})
+}
+
+func TestStatusSendIsZero(t *testing.T) {
+	Run(baseCfg(2), func(r *Rank) {
+		if r.Rank() == 0 {
+			req := r.Isend(1, 1, 0)
+			r.Wait(req)
+			if st := req.Status(); st.Source != -1 || st.Tag != -1 {
+				t.Errorf("send status = %+v, want invalid sentinel", st)
+			}
+		} else {
+			r.Recv(0, 1, 0)
+		}
+	})
+}

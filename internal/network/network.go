@@ -1,0 +1,148 @@
+// Package network models the simple network of the paper's simulation
+// environment (§V-B): endpoints with FIFO Rx buffering, per-endpoint
+// transmit serialisation, a bandwidth-limited link, and a 200 ns wire
+// latency (Table III). Delivery between a pair of endpoints is in order,
+// which is what MPI's matching-order guarantee rests on.
+package network
+
+import (
+	"fmt"
+
+	"alpusim/internal/match"
+	"alpusim/internal/params"
+	"alpusim/internal/sim"
+)
+
+// PacketKind distinguishes the protocol messages of the prototype MPI.
+type PacketKind int
+
+const (
+	// Eager carries the header plus the full payload.
+	Eager PacketKind = iota
+	// RTS is a rendezvous request: header only; data follows after CTS.
+	RTS
+	// CTS is the receiver's clear-to-send for a rendezvous.
+	CTS
+	// Data is the rendezvous payload.
+	Data
+)
+
+func (k PacketKind) String() string {
+	switch k {
+	case Eager:
+		return "EAGER"
+	case RTS:
+		return "RTS"
+	case CTS:
+		return "CTS"
+	case Data:
+		return "DATA"
+	default:
+		return fmt.Sprintf("PacketKind(%d)", int(k))
+	}
+}
+
+// HeaderBytes is the wire overhead of every packet (envelope + routing).
+const HeaderBytes = 32
+
+// Packet is one network message.
+type Packet struct {
+	Kind     PacketKind
+	Src, Dst int
+	Hdr      match.Header // MPI envelope (Eager and RTS)
+	Size     int          // payload bytes
+	// SenderReq / RecvReq carry the request handles needed to route
+	// rendezvous control traffic back to its request state.
+	SenderReq uint64
+	RecvReq   uint64
+	Seq       uint64
+}
+
+// Endpoint is one node's attachment point.
+type Endpoint struct {
+	ID int
+	// RxQ buffers arrived packets until the NIC firmware polls them.
+	RxQ *sim.FIFO[Packet]
+	// Arrived is raised on each delivery, additionally to RxQ.NotEmpty,
+	// so NICs can share one kick signal.
+	Arrived *sim.Signal
+
+	txBusyUntil sim.Time
+	txBytes     uint64
+	txPackets   uint64
+	// OnDeliver, when set, runs at delivery time before the packet is
+	// queued — the hardware path that replicates headers into the ALPU
+	// header FIFO (Fig. 1).
+	OnDeliver func(Packet)
+}
+
+// Network connects a fixed set of endpoints.
+type Network struct {
+	eng       *sim.Engine
+	wire      sim.Time
+	bwBpns    int
+	endpoints []*Endpoint
+	seq       uint64
+}
+
+// New builds a network of n endpoints with the calibrated wire latency and
+// bandwidth; zero values select the Table III defaults.
+func New(eng *sim.Engine, n int, wire sim.Time, bwBpns int) *Network {
+	if wire == 0 {
+		wire = params.WireLatency
+	}
+	if bwBpns == 0 {
+		bwBpns = params.LinkBandwidthBpns
+	}
+	net := &Network{eng: eng, wire: wire, bwBpns: bwBpns}
+	for i := 0; i < n; i++ {
+		net.endpoints = append(net.endpoints, &Endpoint{
+			ID:      i,
+			RxQ:     sim.NewFIFO[Packet](eng, fmt.Sprintf("net%d.rx", i), 0),
+			Arrived: sim.NewSignal(eng),
+		})
+	}
+	return net
+}
+
+// Endpoint returns endpoint i.
+func (n *Network) Endpoint(i int) *Endpoint { return n.endpoints[i] }
+
+// Size returns the number of endpoints.
+func (n *Network) Size() int { return len(n.endpoints) }
+
+// Send transmits pkt from its Src endpoint at the current time. The
+// source link serialises transmissions; the packet arrives at Dst after
+// the transmit time plus the wire latency.
+func (n *Network) Send(pkt Packet) {
+	src := n.endpoints[pkt.Src]
+	dst := n.endpoints[pkt.Dst]
+	n.seq++
+	pkt.Seq = n.seq
+
+	now := n.eng.Now()
+	start := now
+	if src.txBusyUntil > start {
+		start = src.txBusyUntil
+	}
+	txTime := sim.Time((HeaderBytes+max(pkt.Size, 0))/n.bwBpns) * sim.Nanosecond
+	src.txBusyUntil = start + txTime
+	src.txBytes += uint64(HeaderBytes + max(pkt.Size, 0))
+	src.txPackets++
+
+	deliver := src.txBusyUntil + n.wire - now
+	p := pkt
+	n.eng.Schedule(deliver, func() {
+		if dst.OnDeliver != nil {
+			dst.OnDeliver(p)
+		}
+		dst.RxQ.Push(p)
+		dst.Arrived.Raise()
+	})
+}
+
+// TxPackets reports packets transmitted by endpoint i.
+func (n *Network) TxPackets(i int) uint64 { return n.endpoints[i].txPackets }
+
+// TxBytes reports bytes transmitted by endpoint i.
+func (n *Network) TxBytes(i int) uint64 { return n.endpoints[i].txBytes }

@@ -1,0 +1,571 @@
+package nic
+
+import (
+	"fmt"
+
+	"alpusim/internal/alpu"
+	"alpusim/internal/match"
+	"alpusim/internal/network"
+	"alpusim/internal/params"
+	"alpusim/internal/proc"
+	"alpusim/internal/sim"
+)
+
+// firmware is the NIC processor's main loop (§V-C): check the network for
+// incoming messages, check for new host requests, and update the ALPUs,
+// repeatedly. All costs are charged through the proc.Engine, so list
+// traversals exercise the cache/DRAM model.
+func (n *NIC) firmware(p *sim.Process) {
+	e := proc.New(p, n.cpu, n.mem)
+	for {
+		if pkt, ok := n.ep.RxQ.Pop(); ok {
+			n.handlePacket(e, pkt)
+			continue
+		}
+		if req, ok := n.HostQ.Pop(); ok {
+			n.handleHostReq(e, req)
+			continue
+		}
+		if n.updateALPUs(e) {
+			continue
+		}
+		p.WaitCond(n.kick, func() bool {
+			return n.ep.RxQ.Len() > 0 || n.HostQ.Len() > 0
+		})
+		// The polling iteration that discovers the new work.
+		e.Cycles(params.PollIterationCycles)
+	}
+}
+
+// handlePacket processes one incoming network packet.
+func (n *NIC) handlePacket(e *proc.Engine, pkt network.Packet) {
+	n.stats.PacketsHandled++
+	switch pkt.Kind {
+	case network.Eager, network.RTS:
+		e.Cycles(params.HeaderProcessCycles)
+		entry := n.matchPosted(e, pkt)
+		if entry != nil {
+			n.stats.PostedMatches++
+			pr := entry.Req.(*postedRecv)
+			n.entryAlloc.put(entry.Addr)
+			n.deliverMatched(e, pkt, pr)
+			return
+		}
+		n.stats.Unexpected++
+		n.addUnexpected(e, pkt)
+
+	case network.CTS:
+		e.Cycles(params.HeaderProcessCycles)
+		s := n.pendingSends[pkt.SenderReq]
+		if s == nil {
+			panic(fmt.Sprintf("nic%d: CTS for unknown send %d", n.cfg.ID, pkt.SenderReq))
+		}
+		delete(n.pendingSends, pkt.SenderReq)
+		done := n.dmaTx.Transfer(e.Now(), s.req.Size)
+		data := network.Packet{
+			Kind: network.Data, Src: n.cfg.ID, Dst: pkt.Src,
+			Size: s.req.Size, RecvReq: pkt.RecvReq,
+		}
+		n.eng.At(done, func() { n.net.Send(data) })
+		e.Cycles(params.CompletionCycles)
+		n.complete(s.req.ID, done, CompletionStatus{})
+
+	case network.Data:
+		e.Cycles(params.HeaderProcessCycles)
+		done := n.dmaRx.Transfer(e.Now(), pkt.Size)
+		e.Cycles(params.CompletionCycles)
+		st := n.rndvStatus[pkt.RecvReq]
+		delete(n.rndvStatus, pkt.RecvReq)
+		n.complete(pkt.RecvReq, done, st)
+	}
+}
+
+// deliverMatched completes the receive side of a message that matched a
+// posted receive: eager data DMAs straight to the host buffer; a
+// rendezvous request gets a CTS.
+func (n *NIC) deliverMatched(e *proc.Engine, pkt network.Packet, pr *postedRecv) {
+	if pkt.Kind == network.Eager {
+		done := n.dmaRx.Transfer(e.Now(), pkt.Size)
+		e.Cycles(params.CompletionCycles)
+		n.complete(pr.req.ID, done, statusOf(pkt.Hdr, pkt.Size))
+		return
+	}
+	e.Cycles(params.CompletionCycles)
+	n.rndvStatus[pr.req.ID] = statusOf(pkt.Hdr, pkt.Size)
+	n.net.Send(network.Packet{
+		Kind: network.CTS, Src: n.cfg.ID, Dst: pkt.Src,
+		SenderReq: pkt.SenderReq, RecvReq: pr.req.ID,
+	})
+}
+
+// addUnexpected appends an arrived message to the unexpected queue (§V-C:
+// "entered on the unexpectedQ, to be matched against future receives").
+func (n *NIC) addUnexpected(e *proc.Engine, pkt network.Packet) {
+	um := &unexMsg{pkt: pkt}
+	if pkt.Kind == network.Eager && pkt.Size > 0 {
+		// Buffer the eager payload in NIC-attached memory.
+		n.dmaRx.Transfer(e.Now(), pkt.Size)
+		um.bufLen = pkt.Size
+	}
+	n.appendEntry(e, &n.unexp, match.Pack(pkt.Hdr), match.FullMask, um)
+}
+
+// handleHostReq processes one request from the main processor.
+func (n *NIC) handleHostReq(e *proc.Engine, req HostRequest) {
+	n.stats.HostReqsHandled++
+	switch req.Kind {
+	case ReqSend:
+		e.Cycles(params.SendProcessCycles)
+		if req.Size <= params.EagerLimit {
+			done := n.dmaTx.Transfer(e.Now(), req.Size)
+			pkt := network.Packet{
+				Kind: network.Eager, Src: n.cfg.ID, Dst: req.Dst,
+				Hdr: req.Hdr, Size: req.Size,
+			}
+			n.eng.At(done, func() { n.net.Send(pkt) })
+			e.Cycles(params.CompletionCycles)
+			// An eager send completes locally once the data has left the
+			// host buffer.
+			n.complete(req.ID, done, CompletionStatus{})
+			return
+		}
+		n.pendingSends[req.ID] = &sendState{req: req}
+		n.net.Send(network.Packet{
+			Kind: network.RTS, Src: n.cfg.ID, Dst: req.Dst,
+			Hdr: req.Hdr, Size: req.Size, SenderReq: req.ID,
+		})
+
+	case ReqProbe:
+		e.Cycles(params.PostProcessCycles)
+		// Non-consuming search: the ALPU cannot answer (delete-on-match),
+		// so the firmware walks the full software copy even when a unit
+		// is fitted.
+		b, m := match.PackRecv(req.Recv)
+		st := CompletionStatus{}
+		if entry := n.peekUnexpected(e, b, m); entry != nil {
+			um := entry.Req.(*unexMsg)
+			st = statusOf(um.pkt.Hdr, um.pkt.Size)
+		}
+		e.Cycles(params.CompletionCycles)
+		n.complete(req.ID, e.Now(), st)
+
+	case ReqRecv:
+		e.Cycles(params.PostProcessCycles)
+		// §II: the unexpected-queue search and the posting must be atomic;
+		// the single firmware thread guarantees it.
+		entry := n.matchUnexpected(e, req)
+		if entry == nil {
+			pr := &postedRecv{req: req}
+			b, m := match.PackRecv(req.Recv)
+			n.appendEntry(e, &n.posted, b, m, pr)
+			return
+		}
+		n.stats.UnexpMatches++
+		um := entry.Req.(*unexMsg)
+		n.entryAlloc.put(entry.Addr)
+		if um.pkt.Kind == network.Eager {
+			// Copy the buffered payload to the host buffer.
+			done := n.dmaRx.Transfer(e.Now(), um.pkt.Size)
+			e.Cycles(params.CompletionCycles)
+			n.complete(req.ID, done, statusOf(um.pkt.Hdr, um.pkt.Size))
+			return
+		}
+		e.Cycles(params.CompletionCycles)
+		n.rndvStatus[req.ID] = statusOf(um.pkt.Hdr, um.pkt.Size)
+		n.net.Send(network.Packet{
+			Kind: network.CTS, Src: n.cfg.ID, Dst: um.pkt.Src,
+			SenderReq: um.pkt.SenderReq, RecvReq: req.ID,
+		})
+	}
+}
+
+// matchPosted finds and removes the posted receive matching an incoming
+// header, or returns nil (-> unexpected).
+func (n *NIC) matchPosted(e *proc.Engine, pkt network.Packet) *match.Entry {
+	probe := match.Pack(pkt.Hdr)
+	if n.posted.engaged {
+		// A packet can slip past the engagement point unprobed (it was
+		// already queued when the firmware engaged the unit mid-loop);
+		// the firmware then injects the probe itself over the bus.
+		if !n.posted.probed[pkt.Seq] {
+			e.BusTransaction(params.ALPUCommandCycles)
+			n.posted.dev.PushProbe(alpu.Probe{Bits: probe, Meta: pkt.Seq})
+			n.posted.probed[pkt.Seq] = true
+		}
+		r, from := n.resultFor(e, &n.posted, pkt.Seq)
+		if r.Kind == alpu.RespMatchSuccess {
+			n.stats.ALPUPostedHits++
+			return n.consumeALPUMatch(e, &n.posted, r.Tag)
+		}
+		n.stats.ALPUPostedMisses++
+		// §IV-D: on MATCH FAILURE, search only the portion of the list
+		// that had not been loaded into the ALPU when the failure was
+		// generated.
+		return n.fallbackSearch(e, &n.posted, alpu.Probe{Bits: probe, Meta: pkt.Seq}, probe, match.FullMask, from)
+	}
+	if n.posted.hash != nil {
+		return n.searchRemoveHash(e, &n.posted, probe, match.FullMask)
+	}
+	return n.searchRemoveList(e, &n.posted, probe, match.FullMask, 0)
+}
+
+// matchUnexpected finds and removes the unexpected message matching a
+// receive being posted, or returns nil.
+func (n *NIC) matchUnexpected(e *proc.Engine, req HostRequest) *match.Entry {
+	b, m := match.PackRecv(req.Recv)
+	if n.unexp.engaged {
+		if !n.unexp.probed[req.ID] {
+			e.BusTransaction(params.ALPUCommandCycles)
+			n.unexp.dev.PushProbe(alpu.Probe{Bits: b, Mask: m, Meta: req.ID})
+			n.unexp.probed[req.ID] = true
+		}
+		r, from := n.resultFor(e, &n.unexp, req.ID)
+		if r.Kind == alpu.RespMatchSuccess {
+			n.stats.ALPUUnexpHits++
+			return n.consumeALPUMatch(e, &n.unexp, r.Tag)
+		}
+		n.stats.ALPUUnexpMisses++
+		return n.fallbackSearch(e, &n.unexp, alpu.Probe{Bits: b, Mask: m, Meta: req.ID}, b, m, from)
+	}
+	if n.unexp.hash != nil {
+		return n.searchRemoveHash(e, &n.unexp, b, m)
+	}
+	return n.searchRemoveList(e, &n.unexp, b, m, 0)
+}
+
+// consumeALPUMatch resolves an ALPU MATCH SUCCESS tag to the shadow-list
+// entry (§IV-B: the tag points into the processor's copy) and unlinks it.
+func (n *NIC) consumeALPUMatch(e *proc.Engine, q *mirrorQueue, tag uint32) *match.Entry {
+	entry := q.tags[tag]
+	if entry == nil {
+		panic(fmt.Sprintf("nic%d: %s ALPU returned unknown tag %d", n.cfg.ID, q.name, tag))
+	}
+	delete(q.tags, tag)
+	// Fetch the entry directly by pointer — no traversal (§VI-B: "the
+	// returned tag can be used to point directly to the matching list
+	// item").
+	e.Load(entry.Addr, params.QueueEntryBytes)
+	e.Prefetch(entry.Addr+uint64(params.QueueEntryBytes), params.QueueEntryFullBytes-params.QueueEntryBytes, false)
+	idx := q.list.IndexOf(entry)
+	if idx < 0 || idx >= q.inALPU {
+		panic(fmt.Sprintf("nic%d: %s ALPU matched entry outside the ALPU prefix (idx %d, inALPU %d)",
+			n.cfg.ID, q.name, idx, q.inALPU))
+	}
+	q.depths.Add(idx)
+	q.list.RemoveAt(idx)
+	q.inALPU--
+	e.Cycles(8) // list unlink bookkeeping
+	return entry
+}
+
+// searchList traverses the software list from index `from`, charging the
+// per-entry cost through the cache model, and returns the index of the
+// first match, or -1.
+func (n *NIC) searchList(e *proc.Engine, q *mirrorQueue, bits, mask match.Bits, from int) int {
+	for i := from; i < q.list.Len(); i++ {
+		entry := q.list.At(i)
+		// The match line is the demand load; the rest of the entry is
+		// fetched under its miss (it still occupies the cache).
+		e.LoadOverlapped(entry.Addr, params.QueueEntryBytes, params.TraverseCyclesPerEntry)
+		e.Prefetch(entry.Addr+uint64(params.QueueEntryBytes), params.QueueEntryFullBytes-params.QueueEntryBytes, false)
+		n.stats.EntriesTraversed++
+		if match.Matches(entry.Bits, entry.Mask, bits, mask) {
+			return i
+		}
+	}
+	return -1
+}
+
+// peekUnexpected finds the first matching unexpected message without
+// unlinking it (the MPI_Probe path), whatever the queue organisation.
+func (n *NIC) peekUnexpected(e *proc.Engine, bits, mask match.Bits) *match.Entry {
+	q := &n.unexp
+	if q.hash != nil {
+		before := q.hash.SearchSteps
+		entry := q.hash.FindFirst(bits, mask)
+		steps := q.hash.SearchSteps - before
+		for s := uint64(0); s < steps; s++ {
+			e.Cycles(4)
+			e.Load(hashBucketAddr(bits+match.Bits(s)), 8)
+		}
+		n.stats.EntriesTraversed += steps
+		return entry
+	}
+	if idx := n.searchList(e, q, bits, mask, 0); idx >= 0 {
+		return q.list.At(idx)
+	}
+	return nil
+}
+
+// searchRemoveList is searchList plus unlinking of the match.
+func (n *NIC) searchRemoveList(e *proc.Engine, q *mirrorQueue, bits, mask match.Bits, from int) *match.Entry {
+	i := n.searchList(e, q, bits, mask, from)
+	if i < 0 {
+		return nil
+	}
+	q.depths.Add(i)
+	entry := q.list.At(i)
+	e.Cycles(8)
+	q.list.RemoveAt(i)
+	return entry
+}
+
+// fallbackSearch resolves a MATCH FAILURE in software. The failure
+// reflects the unit's contents when it was generated, so the search
+// starts from that era's not-in-ALPU pointer. If the match lands inside
+// the *current* ALPU prefix, an insert episode loaded the entry after the
+// failure was generated (the §IV-C race); the unit then holds a stale
+// copy, which the firmware purges by re-probing: the stale entry is the
+// unit's highest-priority match for this probe, so the purge consumes
+// exactly it.
+func (n *NIC) fallbackSearch(e *proc.Engine, q *mirrorQueue, probe alpu.Probe, bits, mask match.Bits, from int) *match.Entry {
+	if from > q.inALPU {
+		from = q.inALPU
+	}
+	idx := n.searchList(e, q, bits, mask, from)
+	if idx < 0 {
+		return nil
+	}
+	q.depths.Add(idx)
+	entry := q.list.At(idx)
+	if idx < q.inALPU {
+		n.stats.ALPUPurges++
+		key := n.nextPurgeKey()
+		probe.Meta = key
+		e.BusTransaction(params.ALPUCommandCycles)
+		q.dev.PushProbe(probe)
+		q.probed[key] = true
+		r, _ := n.resultFor(e, q, key)
+		if r.Kind != alpu.RespMatchSuccess {
+			panic(fmt.Sprintf("nic%d: %s purge probe missed the stale entry", n.cfg.ID, q.name))
+		}
+		if q.tags[r.Tag] != entry {
+			panic(fmt.Sprintf("nic%d: %s purge consumed tag %d, not the stale entry", n.cfg.ID, q.name, r.Tag))
+		}
+		delete(q.tags, r.Tag)
+		q.inALPU--
+	}
+	e.Cycles(8)
+	q.list.RemoveAt(idx)
+	return entry
+}
+
+// nextPurgeKey returns a correlation key that can never collide with a
+// packet sequence number or request id.
+func (n *NIC) nextPurgeKey() uint64 {
+	n.purgeKey++
+	return n.purgeKey | 1<<63
+}
+
+// hashRegionBase is where the hash-table buckets live in NIC memory for
+// the abl-hash cost model.
+const hashRegionBase = 0x800_0000
+
+func hashBucketAddr(bits match.Bits) uint64 {
+	return hashRegionBase + uint64(bits%4096)*8
+}
+
+// searchRemoveHash is the §II hash-organisation search path (ablation).
+func (n *NIC) searchRemoveHash(e *proc.Engine, q *mirrorQueue, bits, mask match.Bits) *match.Entry {
+	before := q.hash.SearchSteps
+	entry := q.hash.FindFirst(bits, mask)
+	steps := q.hash.SearchSteps - before
+	// Each search step is a bucket-head probe: hash compute + load.
+	for s := uint64(0); s < steps; s++ {
+		e.Cycles(4)
+		e.Load(hashBucketAddr(bits+match.Bits(s)), 8)
+	}
+	n.stats.EntriesTraversed += steps
+	if entry == nil {
+		return nil
+	}
+	q.depths.Add(int(steps))
+	e.Load(entry.Addr, params.QueueEntryBytes)
+	e.Prefetch(entry.Addr+uint64(params.QueueEntryBytes), params.QueueEntryFullBytes-params.QueueEntryBytes, false)
+	e.Cycles(12) // bucket unlink is costlier than list unlink
+	q.hash.Remove(entry)
+	return entry
+}
+
+// appendEntry creates a queue entry, charges its construction, and appends
+// it to the software queue.
+func (n *NIC) appendEntry(e *proc.Engine, q *mirrorQueue, bits, mask match.Bits, req any) *match.Entry {
+	addr := n.entryAlloc.get()
+	entry := &match.Entry{Bits: bits, Mask: mask, Addr: addr, Req: req}
+	e.Store(addr, params.QueueEntryBytes)
+	e.Prefetch(addr+uint64(params.QueueEntryBytes), params.QueueEntryFullBytes-params.QueueEntryBytes, true)
+	if q.hash != nil {
+		before := q.hash.InsertSteps
+		q.hash.Append(entry)
+		steps := q.hash.InsertSteps - before
+		// §II: "can also significantly increase the time needed to insert
+		// an entry": hash compute, bucket lookup, tail update.
+		e.Cycles(int64(steps) * 4)
+		e.Store(hashBucketAddr(bits), 8)
+	} else {
+		q.list.Append(entry)
+		e.Cycles(4) // tail pointer update
+	}
+	if l := n.queueLen(q); l > q.peakLen {
+		q.peakLen = l
+	}
+	return entry
+}
+
+// updateALPUs performs the per-iteration ALPU maintenance of §V-C,
+// returning whether any work was done.
+func (n *NIC) updateALPUs(e *proc.Engine) bool {
+	if !n.cfg.UseALPU {
+		return false
+	}
+	did := n.updateALPU(e, &n.posted)
+	if n.updateALPU(e, &n.unexp) {
+		did = true
+	}
+	return did
+}
+
+// updateALPU runs one insert episode for a queue if it has a not-yet-
+// inserted suffix: START INSERT, drain results until the acknowledge,
+// insert as many entries as fit, STOP INSERT (§IV-C, §V-C).
+func (n *NIC) updateALPU(e *proc.Engine, q *mirrorQueue) bool {
+	pend := q.list.Len() - q.inALPU
+	if pend <= 0 || q.list.Len() < n.cfg.Threshold {
+		return false
+	}
+	cells := q.dev.Config().Geometry.Cells
+	if q.inALPU >= cells {
+		return false // ALPU prefix full; overflow stays in software
+	}
+
+	if !q.engaged {
+		// Initialise the unit: enable duplicate-information delivery
+		// (§IV-C). From here on probes flow in hardware.
+		e.BusTransaction(params.ALPUCommandCycles)
+		q.engaged = true
+	}
+
+	e.BusTransaction(params.ALPUCommandCycles)
+	n.pushCommand(e, q, alpu.Command{Op: alpu.OpStartInsert})
+	n.stats.InsertEpisodes++
+
+	// Drain results until the START ACKNOWLEDGE; anything else is a match
+	// result for a header we have not processed yet (§IV-C).
+	var free int
+	for {
+		r := n.readResult(e, q)
+		if r.Kind == alpu.RespStartAck {
+			free = r.Free
+			break
+		}
+		q.pending = append(q.pending, stashedResp{r: r, from: q.inALPU})
+	}
+
+	k := pend
+	if k > free {
+		k = free
+	}
+	if n.cfg.InsertBatchMax > 0 && k > n.cfg.InsertBatchMax {
+		k = n.cfg.InsertBatchMax
+	}
+	for i := 0; i < k; i++ {
+		entry := q.list.At(q.inALPU + i)
+		tag := n.allocTag(q, entry)
+		e.BusTransaction(params.ALPUCommandCycles)
+		n.pushCommand(e, q, alpu.Command{Op: alpu.OpInsert, Bits: entry.Bits, Mask: entry.Mask, Tag: tag})
+		n.stats.ALPUInserts++
+		// §IV-C: periodically clear the result FIFO of successful matches
+		// that occur during the insert process to prevent it filling.
+		if q.dev.Results.Len() > q.dev.Results.Cap()/2 {
+			n.drainResults(e, q)
+		}
+	}
+	e.BusTransaction(params.ALPUCommandCycles)
+	n.pushCommand(e, q, alpu.Command{Op: alpu.OpStopInsert})
+	q.inALPU += k
+	return k > 0
+}
+
+// allocTag assigns a free 16-bit tag to an entry.
+func (n *NIC) allocTag(q *mirrorQueue, entry *match.Entry) uint32 {
+	for {
+		q.nextTag = (q.nextTag + 1) & 0xffff
+		if _, used := q.tags[q.nextTag]; !used {
+			q.tags[q.nextTag] = entry
+			return q.nextTag
+		}
+	}
+}
+
+// pushCommand writes one command into the device command FIFO, respecting
+// backpressure (the bus write itself was already charged by the caller).
+func (n *NIC) pushCommand(e *proc.Engine, q *mirrorQueue, c alpu.Command) {
+	for !q.dev.PushCommand(c) {
+		e.P.WaitCond(q.dev.Commands.NotFull, func() bool { return !q.dev.Commands.Full() })
+	}
+}
+
+// readResult reads one response from the device result FIFO: a status
+// read to see that a result is present, then the data read — two
+// transactions on the 20 ns local bus. This interaction cost is what
+// produces the paper's ~80 ns penalty on zero-length queues (§VI-B).
+func (n *NIC) readResult(e *proc.Engine, q *mirrorQueue) alpu.Response {
+	for {
+		e.BusTransaction(params.ALPUStatusPollCycles)
+		if q.dev.Results.Len() == 0 {
+			e.P.WaitCond(q.dev.Results.NotEmpty, func() bool { return q.dev.Results.Len() > 0 })
+			continue
+		}
+		e.BusTransaction(params.ALPUResultPollCycles)
+		r, ok := q.dev.Results.Pop()
+		if !ok {
+			continue
+		}
+		return r
+	}
+}
+
+// drainResults moves everything currently in the result FIFO into the
+// pending list (used mid-insert-episode).
+func (n *NIC) drainResults(e *proc.Engine, q *mirrorQueue) {
+	for {
+		e.BusTransaction(params.ALPUResultPollCycles)
+		r, ok := q.dev.Results.Pop()
+		if !ok {
+			return
+		}
+		q.pending = append(q.pending, stashedResp{r: r, from: q.inALPU})
+	}
+}
+
+// stashedResp is a drained response stamped with the not-in-ALPU pointer
+// value current when it was read: a MATCH FAILURE reflects the unit's
+// contents at generation time, so its software fallback search must start
+// from the pointer value of that era, not the present one.
+type stashedResp struct {
+	r    alpu.Response
+	from int
+}
+
+// resultFor returns the response whose probe carried the given
+// correlation key, consuming it from the drained-pending list or the
+// result FIFO, plus the fallback search index for a failure. Responses
+// for probes whose packets have not been processed yet are stashed in
+// arrival order.
+func (n *NIC) resultFor(e *proc.Engine, q *mirrorQueue, key uint64) (alpu.Response, int) {
+	delete(q.probed, key)
+	for i, st := range q.pending {
+		if meta, ok := st.r.Probe.Meta.(uint64); ok && meta == key {
+			q.pending = append(q.pending[:i], q.pending[i+1:]...)
+			e.Cycles(4)
+			return st.r, st.from
+		}
+	}
+	for {
+		r := n.readResult(e, q)
+		if meta, ok := r.Probe.Meta.(uint64); ok && meta == key {
+			return r, q.inALPU
+		}
+		q.pending = append(q.pending, stashedResp{r: r, from: q.inALPU})
+	}
+}

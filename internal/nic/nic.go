@@ -1,0 +1,368 @@
+// Package nic models the network interface of §V: an embedded processor
+// (PPC440-class, Table III) running the firmware loop of §V-C over the
+// MPI queue structures, with optional associative list processing units
+// (ALPUs) for the posted receive queue and the unexpected message queue,
+// wired exactly as in Fig. 1: header copies flow to the ALPU in hardware,
+// and the processor interacts with it only through command/result FIFOs
+// across the 20 ns local bus.
+//
+// The same firmware implements both evaluated configurations:
+//
+//   - baseline: linear traversal of the queues on the NIC processor, each
+//     entry charged through the cache/DRAM model;
+//   - ALPU: the §IV software interface — shadow list, not-in-ALPU pointer,
+//     batched inserts behind START/STOP INSERT, result draining, and
+//     software search of only the overflow portion on MATCH FAILURE.
+package nic
+
+import (
+	"fmt"
+
+	"alpusim/internal/alpu"
+	"alpusim/internal/dma"
+	"alpusim/internal/dram"
+	"alpusim/internal/match"
+	"alpusim/internal/memsys"
+	"alpusim/internal/network"
+	"alpusim/internal/params"
+	"alpusim/internal/sim"
+	"alpusim/internal/trace"
+)
+
+// ReqKind distinguishes host requests.
+type ReqKind int
+
+const (
+	// ReqSend asks the NIC to transmit a message.
+	ReqSend ReqKind = iota
+	// ReqRecv posts a receive.
+	ReqRecv
+	// ReqProbe checks the unexpected queue for a matching message without
+	// consuming it (MPI_Iprobe). Non-consuming lookups cannot use the
+	// ALPU — its matches always delete (§III-B) — so probes always search
+	// the software copy; see DESIGN.md.
+	ReqProbe
+)
+
+// HostRequest is one descriptor written by the host library to the NIC.
+type HostRequest struct {
+	Kind ReqKind
+	ID   uint64
+
+	// Send fields.
+	Dst  int
+	Hdr  match.Header
+	Size int
+
+	// Recv fields.
+	Recv     match.Recv
+	RecvSize int
+}
+
+// Config selects a NIC build point.
+type Config struct {
+	ID int
+
+	// UseALPU enables the two matching units.
+	UseALPU bool
+	// Cells is the ALPU capacity (the paper evaluates 128 and 256).
+	Cells int
+	// Threshold is the §VI-B software heuristic: the ALPU is not engaged
+	// until the queue reaches this length.
+	Threshold int
+	// InsertBatchMax caps inserts per START/STOP INSERT episode
+	// (0 = fill all free cells); the abl-insertbatch ablation sets 1.
+	InsertBatchMax int
+	// ALPUConfig optionally overrides the device configuration (geometry,
+	// pipeline). Variant and cells are filled in per unit.
+	ALPUConfig *alpu.Config
+
+	// UseHashList switches the software queues to the hash organisation
+	// of §II (the abl-hash ablation baseline). Mutually exclusive with
+	// UseALPU in the evaluated configurations.
+	UseHashList bool
+
+	// CPUProfile overrides the NIC processor model (nil = the Table III
+	// PPC440-class profile). params.ElanNIC() reproduces the §VI-B
+	// Quadrics comparison point.
+	CPUProfile *params.CPU
+}
+
+// Stats aggregates firmware activity for the benchmark reports.
+type Stats struct {
+	PacketsHandled   uint64
+	HostReqsHandled  uint64
+	EntriesTraversed uint64 // software queue entries examined
+	PostedMatches    uint64
+	Unexpected       uint64 // messages that joined the unexpected queue
+	UnexpMatches     uint64
+	ALPUPostedHits   uint64
+	ALPUPostedMisses uint64
+	ALPUUnexpHits    uint64
+	ALPUUnexpMisses  uint64
+	ALPUInserts      uint64
+	ALPUPurges       uint64 // stale prefix copies purged after the §IV-C race
+	InsertEpisodes   uint64
+	Completions      uint64
+}
+
+// mirrorQueue pairs a software queue with its (optional) ALPU, the
+// §IV-B "portion not yet entered" pointer, and the tag table that maps
+// ALPU tags back to entries.
+type mirrorQueue struct {
+	name    string
+	list    match.List
+	hash    *match.HashList // non-nil when Config.UseHashList
+	dev     *alpu.Device    // non-nil when Config.UseALPU
+	inALPU  int             // length of the list prefix currently in the ALPU
+	tags    map[uint32]*match.Entry
+	nextTag uint32
+
+	// Instrumentation for the refs [8]/[9]-style queue studies: where
+	// matches land and how long the queue gets.
+	depths  trace.Histogram
+	peakLen int
+	// pending holds match results drained while awaiting an insert
+	// acknowledge, each stamped with the not-in-ALPU pointer value at the
+	// time it was read: a failure generated before an insert episode must
+	// be resolved against the pre-episode list state (§IV-C/D race).
+	pending []stashedResp
+
+	// engaged is the §IV-C initialisation gate: until the firmware engages
+	// the unit (first insert episode, after the Threshold heuristic
+	// fires), duplicate-information delivery is disabled and probes do
+	// not flow, so short queues avoid the ALPU interface penalty.
+	engaged bool
+	// probed tracks the correlation keys (packet seq / request id) of
+	// probes that have been delivered to the unit and whose results are
+	// still outstanding.
+	probed map[uint64]bool
+}
+
+type sendState struct {
+	req HostRequest
+}
+
+// unexMsg is the NIC-side record of an unexpected message (§V-C
+// unexpectedQ entry).
+type unexMsg struct {
+	pkt    network.Packet
+	bufLen int
+}
+
+// postedRecv is the NIC-side record of a posted receive.
+type postedRecv struct {
+	req HostRequest
+}
+
+// NIC is one simulated network interface.
+type NIC struct {
+	eng *sim.Engine
+	cfg Config
+	cpu params.CPU
+
+	mem   *memsys.Hierarchy
+	net   *network.Network
+	ep    *network.Endpoint
+	dmaRx *dma.Engine
+	dmaTx *dma.Engine
+
+	// HostQ carries requests from the host library; pushes must go
+	// through SubmitRequest so the host-bus latency is modelled.
+	HostQ *sim.FIFO[HostRequest]
+	kick  *sim.Signal
+
+	posted mirrorQueue
+	unexp  mirrorQueue
+
+	pendingSends map[uint64]*sendState
+
+	entryAlloc addrAlloc
+	purgeKey   uint64
+
+	// Complete is invoked when a host request finishes on the NIC side at
+	// simulated time `at` (before the host-bus delay). For receives, st
+	// carries the matched envelope and size (MPI_Status). Set by the host
+	// layer before traffic flows.
+	Complete func(reqID uint64, at sim.Time, st CompletionStatus)
+
+	// rendezvous receive statuses keyed by request id, captured when the
+	// RTS matches (the DATA packet no longer carries the envelope).
+	rndvStatus map[uint64]CompletionStatus
+
+	stats Stats
+}
+
+// addrAlloc is a bump allocator with LIFO reuse, approximating the
+// firmware's fixed-size object pools: freed entries are reused hottest
+// first, as a free list would.
+type addrAlloc struct {
+	next, size uint64
+	free       []uint64
+}
+
+func (a *addrAlloc) get() uint64 {
+	if n := len(a.free); n > 0 {
+		addr := a.free[n-1]
+		a.free = a.free[:n-1]
+		return addr
+	}
+	addr := a.next
+	a.next += a.size
+	return addr
+}
+
+func (a *addrAlloc) put(addr uint64) { a.free = append(a.free, addr) }
+
+// New creates a NIC bound to endpoint cfg.ID of net and starts its
+// firmware process.
+func New(eng *sim.Engine, cfg Config, net *network.Network) *NIC {
+	if cfg.UseALPU && cfg.UseHashList {
+		panic("nic: UseALPU and UseHashList are mutually exclusive")
+	}
+	if cfg.UseALPU && cfg.Cells == 0 {
+		cfg.Cells = 256
+	}
+	cpu := params.NICCPU()
+	if cfg.CPUProfile != nil {
+		cpu = *cfg.CPUProfile
+	}
+	n := &NIC{
+		eng:          eng,
+		cfg:          cfg,
+		cpu:          cpu,
+		mem:          memsys.New(cpu, dram.New(dram.DefaultConfig())),
+		net:          net,
+		ep:           net.Endpoint(cfg.ID),
+		dmaRx:        dma.New(fmt.Sprintf("nic%d.rx", cfg.ID), 0, 0),
+		dmaTx:        dma.New(fmt.Sprintf("nic%d.tx", cfg.ID), 0, 0),
+		HostQ:        sim.NewFIFO[HostRequest](eng, fmt.Sprintf("nic%d.hostq", cfg.ID), 0),
+		kick:         sim.NewSignal(eng),
+		pendingSends: make(map[uint64]*sendState),
+		rndvStatus:   make(map[uint64]CompletionStatus),
+		entryAlloc:   addrAlloc{next: 0x1_0000, size: params.QueueEntryFullBytes},
+	}
+	n.posted = newMirrorQueue("posted", cfg)
+	n.unexp = newMirrorQueue("unexp", cfg)
+	if cfg.UseALPU {
+		n.posted.dev = alpu.MustDevice(eng, fmt.Sprintf("nic%d.palpu", cfg.ID), n.alpuConfig(alpu.PostedReceives))
+		n.unexp.dev = alpu.MustDevice(eng, fmt.Sprintf("nic%d.ualpu", cfg.ID), n.alpuConfig(alpu.UnexpectedMessages))
+	}
+	// The hardware path of Fig. 1: every matchable header is replicated
+	// into the posted-receive ALPU's header FIFO at delivery time, before
+	// the firmware sees the packet — once the unit is engaged (§IV-C:
+	// delivery of duplicate information is disabled until initialised).
+	n.ep.Arrived = n.kick
+	n.ep.OnDeliver = func(pkt network.Packet) {
+		if n.posted.engaged && (pkt.Kind == network.Eager || pkt.Kind == network.RTS) {
+			n.posted.dev.PushProbe(alpu.Probe{Bits: match.Pack(pkt.Hdr), Meta: pkt.Seq})
+			n.posted.probed[pkt.Seq] = true
+		}
+	}
+	eng.Spawn(fmt.Sprintf("nic%d.fw", cfg.ID), n.firmware)
+	return n
+}
+
+func newMirrorQueue(name string, cfg Config) mirrorQueue {
+	q := mirrorQueue{
+		name:   name,
+		tags:   make(map[uint32]*match.Entry),
+		probed: make(map[uint64]bool),
+	}
+	if cfg.UseHashList {
+		q.hash = match.NewHashList()
+	}
+	return q
+}
+
+func (n *NIC) alpuConfig(v alpu.Variant) alpu.Config {
+	if n.cfg.ALPUConfig != nil {
+		c := *n.cfg.ALPUConfig
+		c.Variant = v
+		if c.Geometry.Cells == 0 {
+			c.Geometry.Cells = n.cfg.Cells
+		}
+		return c
+	}
+	return alpu.DefaultConfig(v, n.cfg.Cells)
+}
+
+// Config returns the NIC configuration.
+func (n *NIC) Config() Config { return n.cfg }
+
+// Stats returns a snapshot of the firmware counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// PostedDepths returns the posted-receive match-depth histogram (how many
+// entries sat ahead of each match — the refs [8]/[9] metric).
+func (n *NIC) PostedDepths() *trace.Histogram { return &n.posted.depths }
+
+// UnexpDepths returns the unexpected-queue match-depth histogram.
+func (n *NIC) UnexpDepths() *trace.Histogram { return &n.unexp.depths }
+
+// PeakPostedLen reports the posted queue's high-water mark.
+func (n *NIC) PeakPostedLen() int { return n.posted.peakLen }
+
+// PeakUnexpLen reports the unexpected queue's high-water mark.
+func (n *NIC) PeakUnexpLen() int { return n.unexp.peakLen }
+
+// Mem exposes the NIC memory hierarchy (tests and reports).
+func (n *NIC) Mem() *memsys.Hierarchy { return n.mem }
+
+// PostedALPU returns the posted-receive unit, or nil.
+func (n *NIC) PostedALPU() *alpu.Device { return n.posted.dev }
+
+// UnexpALPU returns the unexpected-message unit, or nil.
+func (n *NIC) UnexpALPU() *alpu.Device { return n.unexp.dev }
+
+// PostedLen reports the current posted receive queue length.
+func (n *NIC) PostedLen() int { return n.queueLen(&n.posted) }
+
+// UnexpLen reports the current unexpected queue length.
+func (n *NIC) UnexpLen() int { return n.queueLen(&n.unexp) }
+
+func (n *NIC) queueLen(q *mirrorQueue) int {
+	if q.hash != nil {
+		return q.hash.Len()
+	}
+	return q.list.Len()
+}
+
+// SubmitRequest delivers a host request to the NIC after the host-bus
+// latency. It is called from the host side (any goroutine-context that is
+// currently executing in the simulation).
+func (n *NIC) SubmitRequest(req HostRequest) {
+	n.eng.Schedule(params.HostBusLatency, func() {
+		// Fig. 1: new posted receives are replicated to the unexpected
+		// ALPU by hardware as they arrive at the NIC (when engaged).
+		if req.Kind == ReqRecv && n.unexp.engaged {
+			b, m := match.PackRecv(req.Recv)
+			n.unexp.dev.PushProbe(alpu.Probe{Bits: b, Mask: m, Meta: req.ID})
+			n.unexp.probed[req.ID] = true
+		}
+		n.HostQ.Push(req)
+		n.kick.Raise()
+	})
+}
+
+// CompletionStatus is the receive-side completion envelope (the model's
+// MPI_Status): who the matched message came from, its tag, and its size.
+type CompletionStatus struct {
+	Valid  bool
+	Source int32
+	Tag    int32
+	Size   int
+}
+
+// statusOf builds a CompletionStatus from a matched envelope.
+func statusOf(hdr match.Header, size int) CompletionStatus {
+	return CompletionStatus{Valid: true, Source: hdr.Source, Tag: hdr.Tag, Size: size}
+}
+
+// complete reports request completion to the host layer.
+func (n *NIC) complete(reqID uint64, at sim.Time, st CompletionStatus) {
+	n.stats.Completions++
+	if n.Complete != nil {
+		n.Complete(reqID, at, st)
+	}
+}

@@ -1,0 +1,229 @@
+// Package portals implements a Portals-3.0-style matching layer — the
+// protocol building blocks the paper's NIC environment comes from
+// (Red Storm implements Portals, §II; refs [17], [22], [23]) and the
+// reason the ALPU carries "a mask bit for every match bit": §III-A sizes
+// the cell "to a full width mask as is needed by the Portals interface",
+// and footnote 7 calls that configuration the worst case that "supports
+// protocols beyond MPI, such as Portals".
+//
+// The model covers the matching-relevant core of Portals: portal table
+// indices holding ordered match lists; match entries with 64-bit match
+// bits and ignore bits; use-once vs persistent entries; memory
+// descriptors with managed offsets and truncation; event queues with put,
+// unlink and drop events. Put processing walks the list in attach order
+// and the first entry whose (bits, ~ignore) agree with the incoming bits
+// wins — the same first-posted-wins discipline as MPI, over the full
+// 64-bit field.
+package portals
+
+import (
+	"fmt"
+
+	"alpusim/internal/match"
+	"alpusim/internal/sim"
+)
+
+// MatchBits is the full-width Portals matching field.
+type MatchBits = match.Bits
+
+// FullWidth compares all 64 bits (Ignore = 0).
+const FullWidth = ^match.Bits(0)
+
+// EventKind enumerates the delivered event types.
+type EventKind int
+
+const (
+	// EventPut: an incoming put consumed (part of) a match entry.
+	EventPut EventKind = iota
+	// EventPutOverflow: a put matched but was truncated to the MD's
+	// remaining space.
+	EventPutOverflow
+	// EventUnlink: a match entry left the list (use-once consumption or
+	// explicit unlink).
+	EventUnlink
+	// EventDropped: a put matched nothing and was dropped.
+	EventDropped
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventPut:
+		return "PUT"
+	case EventPutOverflow:
+		return "PUT_OVERFLOW"
+	case EventUnlink:
+		return "UNLINK"
+	case EventDropped:
+		return "DROPPED"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one event-queue record.
+type Event struct {
+	Kind    EventKind
+	Bits    MatchBits
+	RLength int // requested length
+	MLength int // manipulated (actually deposited) length
+	Offset  int // offset within the MD at which the deposit landed
+	ME      *MatchEntry
+	At      sim.Time
+}
+
+// EventQueue collects events in delivery order.
+type EventQueue struct {
+	events []Event
+	// Dropped counts events lost to a full queue when Cap > 0.
+	Cap     int
+	Dropped int
+}
+
+// Push appends an event (dropping when over capacity, as Portals EQs do).
+func (q *EventQueue) Push(ev Event) {
+	if q.Cap > 0 && len(q.events) >= q.Cap {
+		q.Dropped++
+		return
+	}
+	q.events = append(q.events, ev)
+}
+
+// Poll removes and returns the oldest event.
+func (q *EventQueue) Poll() (Event, bool) {
+	if len(q.events) == 0 {
+		return Event{}, false
+	}
+	ev := q.events[0]
+	q.events = q.events[1:]
+	return ev, true
+}
+
+// Len returns the number of queued events.
+func (q *EventQueue) Len() int { return len(q.events) }
+
+// MemDesc is a memory descriptor: a landing region with an optionally
+// managed local offset.
+type MemDesc struct {
+	Length        int
+	ManagedOffset bool
+	// used is the managed offset high-water mark.
+	used int
+	EQ   *EventQueue
+}
+
+// Remaining returns the space left under managed offset.
+func (md *MemDesc) Remaining() int { return md.Length - md.used }
+
+// MatchEntry is one element of a portal index's match list.
+type MatchEntry struct {
+	Match  MatchBits
+	Ignore MatchBits // set bits are "don't care"
+	// UseOnce unlinks the entry when it matches (MPI-style turnover —
+	// what the ALPU's delete-on-match implements in hardware). Persistent
+	// entries stay linked and absorb any number of puts.
+	UseOnce bool
+	MD      *MemDesc
+
+	// Stats.
+	Matches int
+}
+
+// mask returns the compare mask (care bits).
+func (me *MatchEntry) maskBits() match.Bits { return ^me.Ignore }
+
+// matches reports whether incoming bits select this entry.
+func (me *MatchEntry) matches(bits MatchBits) bool {
+	return match.Matches(me.Match, me.maskBits(), bits, FullWidth)
+}
+
+// Put describes one incoming put operation's matching-relevant fields.
+type Put struct {
+	Bits   MatchBits
+	Length int
+}
+
+// Table is one portal index: an ordered match list with Portals put
+// semantics. It is the pure functional core; AccelTable layers the ALPU
+// on top and is property-tested against this.
+type Table struct {
+	entries []*MatchEntry
+
+	// Stats.
+	Puts      uint64
+	Drops     uint64
+	Traversed uint64 // entries examined across all puts
+}
+
+// Attach appends a match entry at the end of the list (lowest priority),
+// as PtlMEAttach with PTL_INS_AFTER does.
+func (t *Table) Attach(me *MatchEntry) {
+	t.entries = append(t.entries, me)
+}
+
+// Len returns the list length.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Entries returns the current list, oldest first (for tests).
+func (t *Table) Entries() []*MatchEntry { return t.entries }
+
+// Unlink removes an entry explicitly.
+func (t *Table) Unlink(me *MatchEntry) bool {
+	for i, e := range t.entries {
+		if e == me {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// ProcessPut walks the list for an incoming put, applies MD semantics
+// (managed offset, truncation), fires events, and unlinks use-once
+// entries. It returns the matched entry, or nil when dropped.
+func (t *Table) ProcessPut(p Put, now sim.Time) *MatchEntry {
+	t.Puts++
+	for i, me := range t.entries {
+		t.Traversed++
+		if !me.matches(p.Bits) {
+			continue
+		}
+		t.consume(me, i, p, now)
+		return me
+	}
+	t.Drops++
+	t.event(nil, Event{Kind: EventDropped, Bits: p.Bits, RLength: p.Length, At: now})
+	return nil
+}
+
+// consume applies the MD bookkeeping for a matched put.
+func (t *Table) consume(me *MatchEntry, idx int, p Put, now sim.Time) {
+	me.Matches++
+	ev := Event{Kind: EventPut, Bits: p.Bits, RLength: p.Length, MLength: p.Length, ME: me, At: now}
+	if md := me.MD; md != nil {
+		if md.ManagedOffset {
+			ev.Offset = md.used
+			if p.Length > md.Remaining() {
+				ev.MLength = md.Remaining()
+				ev.Kind = EventPutOverflow
+			}
+			md.used += ev.MLength
+		} else if p.Length > md.Length {
+			ev.MLength = md.Length
+			ev.Kind = EventPutOverflow
+		}
+	}
+	t.event(me, ev)
+	if me.UseOnce || (me.MD != nil && me.MD.ManagedOffset && me.MD.Remaining() == 0) {
+		t.entries = append(t.entries[:idx], t.entries[idx+1:]...)
+		t.event(me, Event{Kind: EventUnlink, ME: me, At: now})
+	}
+}
+
+func (t *Table) event(me *MatchEntry, ev Event) {
+	if me != nil && me.MD != nil && me.MD.EQ != nil {
+		me.MD.EQ.Push(ev)
+		return
+	}
+	// Dropped puts have no ME; they are visible through Drops only in
+	// this model (Portals would deliver them to the portal's default EQ).
+}

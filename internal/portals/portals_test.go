@@ -1,0 +1,317 @@
+package portals
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"alpusim/internal/match"
+)
+
+func bitsOf(v uint64) MatchBits { return MatchBits(v) }
+
+func TestMatchEntryWideMask(t *testing.T) {
+	me := &MatchEntry{
+		Match:  bitsOf(0xDEAD_BEEF_0000_1234),
+		Ignore: bitsOf(0x0000_0000_FFFF_0000), // middle field wildcarded
+	}
+	if !me.matches(bitsOf(0xDEAD_BEEF_0000_1234)) {
+		t.Fatal("exact bits did not match")
+	}
+	if !me.matches(bitsOf(0xDEAD_BEEF_ABCD_1234)) {
+		t.Fatal("ignored-field variation did not match")
+	}
+	if me.matches(bitsOf(0xDEAD_BEEF_0000_1235)) {
+		t.Fatal("cared-field variation matched")
+	}
+	// Unlike MPI's three fields, the wildcard sits mid-word: the §II
+	// argument for why LPM-style structures cannot express this.
+	if me.matches(bitsOf(0x0EAD_BEEF_0000_1234)) {
+		t.Fatal("high cared bits ignored")
+	}
+}
+
+func TestTableFirstAttachedWins(t *testing.T) {
+	var tab Table
+	a := &MatchEntry{Match: 5, Ignore: 0, UseOnce: true}
+	b := &MatchEntry{Match: 5, Ignore: 0, UseOnce: true}
+	tab.Attach(a)
+	tab.Attach(b)
+	if got := tab.ProcessPut(Put{Bits: 5}, 0); got != a {
+		t.Fatal("second-attached entry matched first")
+	}
+	if got := tab.ProcessPut(Put{Bits: 5}, 0); got != b {
+		t.Fatal("use-once entry not unlinked")
+	}
+	if got := tab.ProcessPut(Put{Bits: 5}, 0); got != nil {
+		t.Fatal("empty list matched")
+	}
+	if tab.Drops != 1 {
+		t.Errorf("Drops = %d, want 1", tab.Drops)
+	}
+}
+
+func TestPersistentEntryAbsorbsPuts(t *testing.T) {
+	var tab Table
+	me := &MatchEntry{Match: 7, UseOnce: false}
+	tab.Attach(me)
+	for i := 0; i < 5; i++ {
+		if tab.ProcessPut(Put{Bits: 7}, 0) != me {
+			t.Fatalf("put %d missed the persistent entry", i)
+		}
+	}
+	if me.Matches != 5 || tab.Len() != 1 {
+		t.Fatalf("Matches=%d Len=%d", me.Matches, tab.Len())
+	}
+}
+
+func TestManagedOffsetAndTruncation(t *testing.T) {
+	eq := &EventQueue{}
+	md := &MemDesc{Length: 100, ManagedOffset: true, EQ: eq}
+	me := &MatchEntry{Match: 1, MD: md}
+	var tab Table
+	tab.Attach(me)
+
+	tab.ProcessPut(Put{Bits: 1, Length: 60}, 0)
+	ev, _ := eq.Poll()
+	if ev.Kind != EventPut || ev.Offset != 0 || ev.MLength != 60 {
+		t.Fatalf("first put event %+v", ev)
+	}
+	// Second put truncates to the remaining 40 bytes and exhausts the MD,
+	// unlinking the entry.
+	tab.ProcessPut(Put{Bits: 1, Length: 60}, 0)
+	ev, _ = eq.Poll()
+	if ev.Kind != EventPutOverflow || ev.Offset != 60 || ev.MLength != 40 {
+		t.Fatalf("second put event %+v", ev)
+	}
+	ev, ok := eq.Poll()
+	if !ok || ev.Kind != EventUnlink {
+		t.Fatalf("expected unlink event, got %+v ok=%v", ev, ok)
+	}
+	if tab.Len() != 0 {
+		t.Fatal("exhausted MD entry still linked")
+	}
+}
+
+func TestEventQueueCapacity(t *testing.T) {
+	eq := &EventQueue{Cap: 2}
+	for i := 0; i < 5; i++ {
+		eq.Push(Event{Kind: EventPut})
+	}
+	if eq.Len() != 2 || eq.Dropped != 3 {
+		t.Fatalf("Len=%d Dropped=%d", eq.Len(), eq.Dropped)
+	}
+}
+
+func TestExplicitUnlink(t *testing.T) {
+	var tab Table
+	a := &MatchEntry{Match: 1, UseOnce: true}
+	tab.Attach(a)
+	if !tab.Unlink(a) {
+		t.Fatal("Unlink failed")
+	}
+	if tab.Unlink(a) {
+		t.Fatal("double Unlink succeeded")
+	}
+}
+
+// meSpec is a reproducible match-entry recipe shared between the plain
+// and accelerated tables in the equivalence tests.
+type meSpec struct {
+	match   uint64
+	ignore  uint64
+	useOnce bool
+	managed bool
+}
+
+func buildME(s meSpec) *MatchEntry {
+	me := &MatchEntry{Match: bitsOf(s.match), Ignore: bitsOf(s.ignore), UseOnce: s.useOnce}
+	if s.managed {
+		me.MD = &MemDesc{Length: 256, ManagedOffset: true}
+	}
+	return me
+}
+
+// Property: AccelTable produces the same match sequence, drop count and
+// final list as the functional Table, for random workloads mixing
+// use-once, persistent, and managed-offset entries with wide wildcards.
+func TestAccelEquivalentToTable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var plain Table
+		accel := NewAccelTable(16) // small unit to force fencing + overflow
+
+		var plainMEs, accelMEs []*MatchEntry
+		attach := func() {
+			s := meSpec{
+				match:   uint64(rng.Intn(4)),
+				useOnce: rng.Intn(3) != 0,
+				managed: rng.Intn(8) == 0,
+			}
+			if rng.Intn(4) == 0 {
+				s.ignore = 3 // wildcard the low field
+			}
+			pm, am := buildME(s), buildME(s)
+			plain.Attach(pm)
+			accel.Attach(am)
+			plainMEs = append(plainMEs, pm)
+			accelMEs = append(accelMEs, am)
+		}
+		idOf := func(me *MatchEntry, list []*MatchEntry) int {
+			for i, x := range list {
+				if x == me {
+					return i
+				}
+			}
+			return -1
+		}
+
+		for op := 0; op < 60; op++ {
+			if rng.Intn(2) == 0 {
+				attach()
+				continue
+			}
+			p := Put{Bits: bitsOf(uint64(rng.Intn(4))), Length: rng.Intn(300)}
+			pg := plain.ProcessPut(p, 0)
+			ag := accel.ProcessPut(p, 0)
+			if (pg == nil) != (ag == nil) {
+				return false
+			}
+			if pg != nil && idOf(pg, plainMEs) != idOf(ag, accelMEs) {
+				return false
+			}
+		}
+		if plain.Len() != accel.Len() || plain.Drops != accel.table.Drops {
+			return false
+		}
+		// Final list identity order must agree.
+		for i := range plain.entries {
+			if idOf(plain.entries[i], plainMEs) != idOf(accel.table.entries[i], accelMEs) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccelFencePersistentEntries(t *testing.T) {
+	accel := NewAccelTable(64)
+	accel.Attach(&MatchEntry{Match: 1, UseOnce: true})
+	accel.Attach(&MatchEntry{Match: 2, UseOnce: true})
+	accel.Attach(&MatchEntry{Match: 3, UseOnce: false}) // persistent: fence
+	accel.Attach(&MatchEntry{Match: 4, UseOnce: true})  // behind the fence
+	if accel.InALPU() != 2 {
+		t.Fatalf("InALPU = %d, want 2 (fenced at the persistent entry)", accel.InALPU())
+	}
+	// Puts behind the fence still work, via the software suffix.
+	if me := accel.ProcessPut(Put{Bits: 4}, 0); me == nil || me.Match != 4 {
+		t.Fatal("suffix put failed")
+	}
+	// Consuming the prefix, then the persistent entry still fences.
+	accel.ProcessPut(Put{Bits: 1}, 0)
+	accel.ProcessPut(Put{Bits: 2}, 0)
+	if accel.InALPU() != 0 {
+		t.Fatalf("InALPU = %d after prefix drained, want 0", accel.InALPU())
+	}
+	if me := accel.ProcessPut(Put{Bits: 3}, 0); me == nil {
+		t.Fatal("persistent entry missed")
+	}
+}
+
+func TestAccelHitsAndDeviceTime(t *testing.T) {
+	accel := NewAccelTable(64)
+	for i := 0; i < 32; i++ {
+		accel.Attach(&MatchEntry{Match: bitsOf(uint64(i)), UseOnce: true})
+	}
+	for i := 0; i < 32; i++ {
+		if accel.ProcessPut(Put{Bits: bitsOf(uint64(i))}, 0) == nil {
+			t.Fatalf("put %d missed", i)
+		}
+	}
+	if accel.Hits != 32 {
+		t.Errorf("Hits = %d, want 32", accel.Hits)
+	}
+	if accel.DeviceTime <= 0 {
+		t.Error("no device time accumulated")
+	}
+	_, drops, traversed := accel.Stats()
+	if drops != 0 {
+		t.Errorf("drops = %d", drops)
+	}
+	if traversed != 0 {
+		t.Errorf("traversed = %d, want 0 (all hits served by the unit)", traversed)
+	}
+}
+
+func TestAccelUnlinkUnshadowedPrefixEntry(t *testing.T) {
+	accel := NewAccelTable(64)
+	a := &MatchEntry{Match: 10, UseOnce: true}
+	b := &MatchEntry{Match: 20, UseOnce: true}
+	accel.Attach(a)
+	accel.Attach(b)
+	if !accel.Unlink(a) {
+		t.Fatal("Unlink(a) failed")
+	}
+	if accel.Len() != 1 || accel.InALPU() != 1 {
+		t.Fatalf("Len=%d InALPU=%d after unlink", accel.Len(), accel.InALPU())
+	}
+	// b must still be matchable.
+	if accel.ProcessPut(Put{Bits: 20}, 0) != b {
+		t.Fatal("b lost after unlinking a")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EventPut: "PUT", EventPutOverflow: "PUT_OVERFLOW",
+		EventUnlink: "UNLINK", EventDropped: "DROPPED",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	if EventKind(9).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+// The full-width configuration exercises masks the MPI triple never
+// produces; cross-check the underlying matcher on raw 64-bit patterns.
+func TestWideMaskMatchesProperty(t *testing.T) {
+	f := func(bits, ignore, probe uint64) bool {
+		me := &MatchEntry{Match: bitsOf(bits), Ignore: bitsOf(ignore)}
+		want := (bits^probe)&^ignore == 0
+		return me.matches(bitsOf(probe)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression: the unit must compare ALL 64 bits for Portals entries —
+// entries that differ only above MPI's 42-bit field must not cross-match.
+func TestAccelHighBitsDiscriminate(t *testing.T) {
+	accel := NewAccelTable(32)
+	a := &MatchEntry{Match: bitsOf(1 << 60), UseOnce: true}
+	b := &MatchEntry{Match: bitsOf(1 << 61), UseOnce: true}
+	accel.Attach(a)
+	accel.Attach(b)
+	if got := accel.ProcessPut(Put{Bits: bitsOf(1 << 61)}, 0); got != b {
+		t.Fatalf("high-bit probe matched the wrong entry (%v)", got)
+	}
+	if got := accel.ProcessPut(Put{Bits: bitsOf(1 << 62)}, 0); got != nil {
+		t.Fatal("unrelated high-bit probe matched")
+	}
+	if got := accel.ProcessPut(Put{Bits: bitsOf(1 << 60)}, 0); got != a {
+		t.Fatal("remaining high-bit entry missed")
+	}
+}
+
+var _ = match.FullMask // keep the import meaningful if helpers change

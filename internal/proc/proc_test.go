@@ -1,0 +1,139 @@
+package proc
+
+import (
+	"testing"
+
+	"alpusim/internal/dram"
+	"alpusim/internal/memsys"
+	"alpusim/internal/params"
+	"alpusim/internal/sim"
+)
+
+func run(t *testing.T, fn func(e *Engine)) sim.Time {
+	t.Helper()
+	eng := sim.NewEngine()
+	cpu := params.NICCPU()
+	mem := memsys.New(cpu, dram.New(dram.DefaultConfig()))
+	var elapsed sim.Time
+	eng.Spawn("fw", func(p *sim.Process) {
+		e := New(p, cpu, mem)
+		start := p.Now()
+		fn(e)
+		elapsed = p.Now() - start
+	})
+	eng.Run()
+	return elapsed
+}
+
+func TestCyclesCharge(t *testing.T) {
+	got := run(t, func(e *Engine) { e.Cycles(10) })
+	if got != 20*sim.Nanosecond {
+		t.Fatalf("10 cycles at 500MHz = %v, want 20ns", got)
+	}
+}
+
+func TestCyclesZeroFree(t *testing.T) {
+	got := run(t, func(e *Engine) {
+		e.Cycles(0)
+		e.Cycles(-5)
+	})
+	if got != 0 {
+		t.Fatalf("zero/negative cycles charged %v", got)
+	}
+}
+
+func TestLoadHitVsMiss(t *testing.T) {
+	var cold, warm sim.Time
+	run(t, func(e *Engine) {
+		t0 := e.Now()
+		e.Load(0x1000, 4)
+		cold = e.Now() - t0
+		t0 = e.Now()
+		e.Load(0x1000, 4)
+		warm = e.Now() - t0
+	})
+	if warm != 2*sim.Nanosecond {
+		t.Fatalf("warm load = %v, want 2ns (1 cycle)", warm)
+	}
+	if cold <= warm {
+		t.Fatalf("cold load %v not slower than warm %v", cold, warm)
+	}
+}
+
+func TestLoadOverlappedHidesComputeUnderMiss(t *testing.T) {
+	var miss, hit sim.Time
+	run(t, func(e *Engine) {
+		t0 := e.Now()
+		e.LoadOverlapped(0x2000, 4, params.TraverseCyclesPerEntry) // cold
+		miss = e.Now() - t0
+		t0 = e.Now()
+		e.LoadOverlapped(0x2000, 4, params.TraverseCyclesPerEntry) // warm
+		hit = e.Now() - t0
+	})
+	// Warm: compute (12ns) + hit (2ns) = 14ns ~ the paper's 15 ns/entry.
+	if hit != 14*sim.Nanosecond {
+		t.Fatalf("warm overlapped entry = %v, want 14ns", hit)
+	}
+	// Cold: miss latency dominates, compute hidden: ~60-90ns (~64 paper).
+	if miss < 55*sim.Nanosecond || miss > 95*sim.Nanosecond {
+		t.Fatalf("cold overlapped entry = %v, want ~60-90ns", miss)
+	}
+}
+
+func TestBusTransaction(t *testing.T) {
+	got := run(t, func(e *Engine) { e.BusTransaction(params.ALPUCommandCycles) })
+	want := params.NICBusDelay + params.NICCPU().Clock.Cycles(params.ALPUCommandCycles)
+	if got != want {
+		t.Fatalf("bus transaction = %v, want %v", got, want)
+	}
+}
+
+func TestStats(t *testing.T) {
+	run(t, func(e *Engine) {
+		e.Cycles(5)
+		e.Load(0, 4)
+		e.Store(0x100, 4)
+		e.LoadOverlapped(0x200, 4, 3)
+		if e.Loads() != 2 || e.Stores() != 1 {
+			t.Errorf("Loads=%d Stores=%d, want 2,1", e.Loads(), e.Stores())
+		}
+		if e.CyclesRun() != 8 {
+			t.Errorf("CyclesRun=%d, want 8", e.CyclesRun())
+		}
+		if e.L1Misses() != 3 {
+			t.Errorf("L1Misses=%d, want 3 (all cold)", e.L1Misses())
+		}
+		if e.BusyTime() != e.Now() {
+			t.Errorf("BusyTime=%v Now=%v: engine was never idle", e.BusyTime(), e.Now())
+		}
+	})
+}
+
+func TestTwoEnginesShareDRAM(t *testing.T) {
+	eng := sim.NewEngine()
+	d := dram.New(dram.DefaultConfig())
+	nicMem := memsys.New(params.NICCPU(), d)
+	hostMem := memsys.New(params.HostCPU(), d)
+	done := 0
+	eng.Spawn("nic", func(p *sim.Process) {
+		e := New(p, params.NICCPU(), nicMem)
+		for i := 0; i < 100; i++ {
+			e.Load(uint64(i*32), 4)
+		}
+		done++
+	})
+	eng.Spawn("host", func(p *sim.Process) {
+		e := New(p, params.HostCPU(), hostMem)
+		for i := 0; i < 100; i++ {
+			e.Load(uint64(0x80000+i*64), 4)
+		}
+		done++
+	})
+	eng.Run()
+	if done != 2 {
+		t.Fatalf("done = %d", done)
+	}
+	if d.Accesses() == 0 {
+		t.Fatal("shared DRAM saw no traffic")
+	}
+}

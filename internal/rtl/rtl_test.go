@@ -1,0 +1,218 @@
+package rtl
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"alpusim/internal/alpu"
+)
+
+func design(cells, bs int, masked bool) Design {
+	return Design{
+		Geometry:   alpu.Geometry{Cells: cells, BlockSize: bs},
+		MatchWidth: 42,
+		TagWidth:   16,
+		Masked:     masked,
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	bad := []Design{
+		{Geometry: alpu.Geometry{Cells: 100, BlockSize: 8}, MatchWidth: 42, TagWidth: 16},
+		{Geometry: alpu.Geometry{Cells: 128, BlockSize: 16}, MatchWidth: 0, TagWidth: 16},
+		{Geometry: alpu.Geometry{Cells: 128, BlockSize: 16}, MatchWidth: 42, TagWidth: 40},
+		{Geometry: alpu.Geometry{Cells: 128, BlockSize: 16}, MatchWidth: 90, TagWidth: 16},
+	}
+	for i, d := range bad {
+		if _, err := d.Generate(); err == nil {
+			t.Errorf("bad design %d generated without error", i)
+		}
+	}
+}
+
+func TestModuleBalance(t *testing.T) {
+	for _, masked := range []bool{true, false} {
+		src, err := design(64, 16, masked).Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mods := strings.Count(src, "\nmodule ")
+		ends := strings.Count(src, "\nendmodule")
+		if mods != 3 || ends != 3 {
+			t.Errorf("masked=%v: %d modules, %d endmodules; want 3 each", masked, mods, ends)
+		}
+		// No unresolved placeholders.
+		if strings.Contains(src, "%!") {
+			t.Error("formatting directive leaked into the Verilog")
+		}
+	}
+}
+
+func TestInstanceCounts(t *testing.T) {
+	d := design(128, 16, true)
+	src, err := d.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellInsts := regexp.MustCompile(`\balpu_cell c\d+ \(`).FindAllString(src, -1)
+	if len(cellInsts) != 16 {
+		t.Errorf("cell instances per block = %d, want block size 16", len(cellInsts))
+	}
+	blockInsts := regexp.MustCompile(`\balpu_block b\d+ \(`).FindAllString(src, -1)
+	if len(blockInsts) != 8 {
+		t.Errorf("block instances = %d, want 8", len(blockInsts))
+	}
+}
+
+// extract returns the text of one module.
+func extract(src, name string) string {
+	start := strings.Index(src, "module "+name+" (")
+	if start < 0 {
+		return ""
+	}
+	end := strings.Index(src[start:], "endmodule")
+	return src[start : start+end]
+}
+
+// regBits parses declared register widths in a module body.
+func regBits(mod string) int {
+	total := 0
+	wide := regexp.MustCompile(`(?m)^\s*(?:output\s+)?reg\s+\[(\d+):0\]\s+\w+`)
+	for _, m := range wide.FindAllStringSubmatch(mod, -1) {
+		var hi int
+		fmt.Sscanf(m[1], "%d", &hi)
+		total += hi + 1
+	}
+	narrow := regexp.MustCompile(`(?m)^\s*(?:output\s+)?reg\s+(\w+)\s*[,;]`)
+	total += len(narrow.FindAllString(mod, -1))
+	return total
+}
+
+// The emitted RTL's data registers must match the structural terms shared
+// with the FPGA estimator: cells*(match+mask?+tag+valid) and one request
+// register per block.
+func TestRegisterBitsMatchEstimatorTerms(t *testing.T) {
+	for _, tc := range []struct {
+		cells, bs int
+		masked    bool
+	}{
+		{64, 16, true},
+		{64, 16, false},
+		{128, 8, true},
+		{32, 32, false},
+	} {
+		d := design(tc.cells, tc.bs, tc.masked)
+		src, err := d.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cellMod := extract(src, "alpu_cell")
+		if cellMod == "" {
+			t.Fatal("cell module missing")
+		}
+		// Per-cell registers: out_match, (out_mask), out_tag, out_valid.
+		perCell := regBits(cellMod)
+		if perCell != d.CellRegBits() {
+			t.Errorf("%+v: emitted cell regs %d, structural model %d", tc, perCell, d.CellRegBits())
+		}
+		// Per-block request pipeline: probe_q (+ probe_mask_q).
+		blockMod := extract(src, "alpu_block")
+		reqRe := regexp.MustCompile(`reg \[(\d+):0\] probe(_mask)?_q;`)
+		reqBits := 0
+		for _, m := range reqRe.FindAllStringSubmatch(blockMod, -1) {
+			var hi int
+			fmt.Sscanf(m[1], "%d", &hi)
+			reqBits += hi + 1
+		}
+		if reqBits != d.BlockRegBits() {
+			t.Errorf("%+v: emitted request regs %d, structural model %d", tc, reqBits, d.BlockRegBits())
+		}
+		// And the totals line up.
+		g := d.Geometry
+		want := g.Cells*perCell + g.Blocks()*reqBits
+		if d.TotalDataRegBits() != want {
+			t.Errorf("%+v: TotalDataRegBits %d, recomputed %d", tc, d.TotalDataRegBits(), want)
+		}
+	}
+}
+
+// The generated register totals are exactly the architectural portion of
+// the published flip-flop counts: Tables IV/V minus the fitted control
+// overheads. At the prototyped widths the data registers account for over
+// 90% of the published FFs.
+func TestDataRegsDominatePublishedFFs(t *testing.T) {
+	cases := []struct {
+		cells, bs int
+		masked    bool
+		published int
+	}{
+		{256, 8, true, 28908},
+		{128, 16, true, 13897},
+		{256, 8, false, 19414},
+		{128, 16, false, 8771},
+	}
+	for _, tc := range cases {
+		d := design(tc.cells, tc.bs, tc.masked)
+		got := d.TotalDataRegBits()
+		if got >= tc.published {
+			t.Errorf("%+v: data regs %d exceed published total %d", tc, got, tc.published)
+		}
+		frac := float64(got) / float64(tc.published)
+		if frac < 0.85 {
+			t.Errorf("%+v: data regs cover only %.0f%% of published FFs", tc, frac*100)
+		}
+	}
+}
+
+func TestPriorityTreeEmission(t *testing.T) {
+	src, err := design(32, 8, true).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockMod := extract(src, "alpu_block")
+	// log2(8)=3 mux levels beyond the leaves.
+	for lvl := 1; lvl <= 3; lvl++ {
+		if !strings.Contains(blockMod, fmt.Sprintf("h%d[", lvl)) {
+			t.Errorf("mux level %d missing from block", lvl)
+		}
+	}
+	if !strings.Contains(blockMod, "assign any_hit = h3[0];") {
+		t.Error("tree root not wired to any_hit")
+	}
+}
+
+func TestTopFSMStates(t *testing.T) {
+	src, err := design(32, 8, false).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := extract(src, "alpu")
+	for _, frag := range []string{"S_MATCH", "S_READ_CMD", "S_INSERT", "held_valid", "res_kind"} {
+		if !strings.Contains(top, frag) {
+			t.Errorf("top module missing %q (Fig. 3 machine / Table II interface)", frag)
+		}
+	}
+	// The unexpected variant's probe mask must flow through the ports.
+	if !strings.Contains(top, "hdr_mask") {
+		t.Error("mask-input variant lost its probe mask port")
+	}
+}
+
+func TestCustomName(t *testing.T) {
+	d := design(32, 8, true)
+	d.Name = "pme"
+	src, err := d.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mod := range []string{"module pme_cell (", "module pme_block (", "module pme ("} {
+		if !strings.Contains(src, mod) {
+			t.Errorf("missing %q", mod)
+		}
+	}
+	if strings.Contains(src, "module alpu") {
+		t.Error("default name leaked despite override")
+	}
+}

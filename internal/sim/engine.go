@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID uint64
+
+type event struct {
+	at   Time
+	seq  uint64 // schedule order; breaks ties deterministically
+	fn   func()
+	id   EventID
+	heap *eventHeap
+	idx  int // index in heap, -1 when popped or cancelled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete event simulation kernel. It is not safe for
+// concurrent use; co-simulated processes (see Process) hand control back and
+// forth so that exactly one goroutine touches the Engine at a time.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	nextID  EventID
+	byID    map[EventID]*event
+	stopped bool
+
+	// Stats.
+	executed uint64
+
+	procs []*Process
+}
+
+// NewEngine returns an empty simulation at time zero.
+func NewEngine() *Engine {
+	return &Engine{byID: make(map[EventID]*event)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports how many events have fired so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Schedule runs fn after delay d. A negative delay is an error in the model,
+// so it panics rather than silently reordering time.
+func (e *Engine) Schedule(d Time, fn func()) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v at %v", d, e.now))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// At runs fn at absolute time t (>= Now).
+func (e *Engine) At(t Time, fn func()) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", t, e.now))
+	}
+	e.seq++
+	e.nextID++
+	ev := &event{at: t, seq: e.seq, fn: fn, id: e.nextID}
+	heap.Push(&e.events, ev)
+	e.byID[ev.id] = ev
+	return ev.id
+}
+
+// Cancel removes a pending event. Cancelling an event that already fired or
+// was already cancelled is a no-op and reports false.
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.byID[id]
+	if !ok {
+		return false
+	}
+	delete(e.byID, id)
+	if ev.idx >= 0 {
+		heap.Remove(&e.events, ev.idx)
+	}
+	return true
+}
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// Step executes the single earliest event. It reports false when no events
+// remain.
+func (e *Engine) Step() bool {
+	if e.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	delete(e.byID, ev.id)
+	if ev.at < e.now {
+		panic("sim: event heap corrupted")
+	}
+	e.now = ev.at
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t
+// (if the simulation had not already advanced past it).
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped && e.events.Len() > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }

@@ -1,0 +1,92 @@
+package sim
+
+// FIFO is a bounded queue with a "became non-empty" signal, modelling the
+// decoupling FIFOs the paper places between the processor, the header
+// stream, and the ALPU (Fig. 1). Capacity 0 means unbounded.
+type FIFO[T any] struct {
+	name     string
+	items    []T
+	capacity int
+	NotEmpty *Signal
+	NotFull  *Signal
+
+	// Stats.
+	maxDepth int
+	pushes   uint64
+	drops    uint64
+}
+
+// NewFIFO returns an empty FIFO with the given capacity (0 = unbounded).
+func NewFIFO[T any](e *Engine, name string, capacity int) *FIFO[T] {
+	return &FIFO[T]{
+		name:     name,
+		capacity: capacity,
+		NotEmpty: NewSignal(e),
+		NotFull:  NewSignal(e),
+	}
+}
+
+// Name returns the FIFO's name.
+func (f *FIFO[T]) Name() string { return f.name }
+
+// Len returns the number of queued items.
+func (f *FIFO[T]) Len() int { return len(f.items) }
+
+// Cap returns the capacity (0 = unbounded).
+func (f *FIFO[T]) Cap() int { return f.capacity }
+
+// Full reports whether a Push would fail.
+func (f *FIFO[T]) Full() bool { return f.capacity > 0 && len(f.items) >= f.capacity }
+
+// Push appends v. It reports false (dropping v) when the FIFO is full;
+// hardware-faithful callers must check Full first or handle the drop.
+func (f *FIFO[T]) Push(v T) bool {
+	if f.Full() {
+		f.drops++
+		return false
+	}
+	f.items = append(f.items, v)
+	f.pushes++
+	if len(f.items) > f.maxDepth {
+		f.maxDepth = len(f.items)
+	}
+	f.NotEmpty.Raise()
+	return true
+}
+
+// Pop removes and returns the oldest item.
+func (f *FIFO[T]) Pop() (T, bool) {
+	var zero T
+	if len(f.items) == 0 {
+		return zero, false
+	}
+	v := f.items[0]
+	// Shift rather than re-slice so the backing array does not grow without
+	// bound over long simulations.
+	copy(f.items, f.items[1:])
+	f.items[len(f.items)-1] = zero
+	f.items = f.items[:len(f.items)-1]
+	f.NotFull.Raise()
+	if len(f.items) > 0 {
+		f.NotEmpty.Raise()
+	}
+	return v, true
+}
+
+// Peek returns the oldest item without removing it.
+func (f *FIFO[T]) Peek() (T, bool) {
+	var zero T
+	if len(f.items) == 0 {
+		return zero, false
+	}
+	return f.items[0], true
+}
+
+// MaxDepth reports the high-water mark since creation.
+func (f *FIFO[T]) MaxDepth() int { return f.maxDepth }
+
+// Pushes reports the number of successful pushes.
+func (f *FIFO[T]) Pushes() uint64 { return f.pushes }
+
+// Drops reports the number of pushes rejected because the FIFO was full.
+func (f *FIFO[T]) Drops() uint64 { return f.drops }

@@ -1,0 +1,159 @@
+package sim
+
+import "fmt"
+
+// Process is a co-simulated thread of control: a plain Go function that
+// consumes simulated time through Sleep/WaitSignal calls. The paper's NIC
+// firmware loop and the MPI application ranks both run as Processes, which
+// lets them be written as straight-line code instead of hand-built state
+// machines while staying deterministic.
+//
+// The handshake guarantees that exactly one of {engine, one process} runs at
+// any instant: when the engine resumes a process it blocks on the process's
+// yield channel until the process parks again (in Sleep or WaitSignal) or
+// returns.
+type Process struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+	parked bool   // true while suspended awaiting a wake event
+	gen    uint64 // increments on every wake; stale wake events are dropped
+}
+
+// Spawn starts fn as a co-simulated process at the current simulated time.
+func (e *Engine) Spawn(name string, fn func(p *Process)) *Process {
+	p := &Process{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		parked: true,
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		// The final yield runs via defer so that the engine is released
+		// even if fn unwinds via runtime.Goexit (e.g. t.Fatal inside a
+		// test-driver process).
+		defer func() {
+			p.done = true
+			p.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.Schedule(0, p.wakeFn())
+	return p
+}
+
+// wakeFn returns an event body that resumes the process from its *current*
+// park. If the process has been woken by some other event in the meantime
+// (its generation advanced), the wake is stale and must be dropped — a
+// process may be the target of both a timer and a signal broadcast.
+func (p *Process) wakeFn() func() {
+	gen := p.gen
+	return func() { p.run(gen) }
+}
+
+// run hands control to the process and waits for it to park or finish.
+// It must only be called from an engine event.
+func (p *Process) run(gen uint64) {
+	if p.done || !p.parked || p.gen != gen {
+		return // stale wake
+	}
+	p.parked = false
+	p.gen++
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// park suspends the process until some engine event calls run again.
+// It must only be called from inside the process goroutine.
+func (p *Process) park() {
+	p.parked = true
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Name returns the name given at Spawn.
+func (p *Process) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Process) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Process) Now() Time { return p.eng.Now() }
+
+// Done reports whether the process function has returned.
+func (p *Process) Done() bool { return p.done }
+
+// Sleep advances the process's local time by d, yielding to the simulation.
+// Sleep(0) yields without advancing time (other events at the same instant
+// that were scheduled earlier run first).
+func (p *Process) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: %s: negative sleep %v", p.name, d))
+	}
+	// The park below is what the scheduled wake resumes: stamp the wake
+	// with the post-park generation.
+	p.parked = true
+	p.eng.Schedule(d, p.wakeFn())
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// WaitSignal parks the process until s is raised. If s is already raised the
+// process consumes the signal level semantics described on Signal and
+// continues without yielding.
+func (p *Process) WaitSignal(s *Signal) {
+	for !s.TestClear() {
+		s.addWaiter(p)
+		p.park()
+	}
+}
+
+// WaitCond parks the process, re-testing cond each time s is raised, until
+// cond is true. cond is also tested immediately.
+func (p *Process) WaitCond(s *Signal, cond func() bool) {
+	for !cond() {
+		s.addWaiter(p)
+		p.park()
+	}
+}
+
+// Signal is a wakeup flag processes can block on. Raise stores a level (so a
+// Raise with no waiter is not lost) and wakes all current waiters at the
+// same simulated instant. It is the moral equivalent of the "FIFO became
+// non-empty" wires between the paper's hardware units.
+type Signal struct {
+	eng     *Engine
+	raised  bool
+	waiters []*Process
+}
+
+// NewSignal returns a lowered signal bound to e.
+func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+
+// Raise sets the signal level and schedules every waiting process to resume
+// at the current instant.
+func (s *Signal) Raise() {
+	s.raised = true
+	if len(s.waiters) == 0 {
+		return
+	}
+	ws := s.waiters
+	s.waiters = nil
+	for _, p := range ws {
+		s.eng.Schedule(0, p.wakeFn())
+	}
+}
+
+// TestClear reports whether the signal was raised, clearing it.
+func (s *Signal) TestClear() bool {
+	r := s.raised
+	s.raised = false
+	return r
+}
+
+func (s *Signal) addWaiter(p *Process) { s.waiters = append(s.waiters, p) }

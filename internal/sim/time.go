@@ -1,0 +1,77 @@
+// Package sim provides a deterministic component-based discrete event
+// simulation framework in the style of Enkidu (Rodrigues, TR04-14), the
+// simulator the paper's evaluation environment was built on.
+//
+// Simulated time is kept in integer picoseconds so that both the 2 GHz host
+// clock (500 ps) and the 500 MHz NIC/ALPU clock (2 ns) divide evenly.
+// Events scheduled for the same instant fire in schedule order, which makes
+// every simulation in this repository bit-for-bit reproducible.
+package sim
+
+import "fmt"
+
+// Time is a simulated timestamp or duration in picoseconds.
+type Time int64
+
+// Duration units. All model parameters in this repository are expressed in
+// these units rather than time.Duration so that arithmetic stays integral.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats a Time using the most natural unit, for logs and test
+// failure messages.
+func (t Time) String() string {
+	switch {
+	case t == 0:
+		return "0s"
+	case t%Millisecond == 0 && t >= Millisecond:
+		return fmt.Sprintf("%dms", t/Millisecond)
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", float64(t)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Nanoseconds reports t as a floating point nanosecond count.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds reports t as a floating point microsecond count.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Clock converts between cycle counts of a fixed-frequency clock and
+// simulated time.
+type Clock struct {
+	// Period is the duration of one clock cycle.
+	Period Time
+}
+
+// MHz returns a Clock with the given frequency in megahertz. The frequency
+// must divide evenly into picoseconds (true for every clock in the paper).
+func MHz(f int64) Clock {
+	period := int64(Second) / (f * 1e6)
+	return Clock{Period: Time(period)}
+}
+
+// Cycles returns the duration of n clock cycles.
+func (c Clock) Cycles(n int64) Time { return Time(n) * c.Period }
+
+// CyclesCeil returns the smallest whole number of cycles covering d.
+func (c Clock) CyclesCeil(d Time) int64 {
+	if d <= 0 {
+		return 0
+	}
+	return (int64(d) + int64(c.Period) - 1) / int64(c.Period)
+}
+
+// Freq returns the clock frequency in MHz.
+func (c Clock) Freq() float64 {
+	return float64(Second) / float64(c.Period) / 1e6
+}

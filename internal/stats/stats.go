@@ -1,0 +1,143 @@
+// Package stats provides the small measurement and report-formatting
+// helpers shared by the benchmark harness and the command-line tools:
+// aligned text tables (the form the paper's tables take) and CSV series
+// (the form its figures take).
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	seps := make([]string, len(t.header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// CSV renders rows as comma-separated values with a header line.
+func CSV(w io.Writer, header []string, rows [][]any) {
+	fmt.Fprintln(w, strings.Join(header, ","))
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, c := range row {
+			switch v := c.(type) {
+			case float64:
+				parts[i] = fmt.Sprintf("%.3f", v)
+			default:
+				parts[i] = fmt.Sprint(v)
+			}
+		}
+		fmt.Fprintln(w, strings.Join(parts, ","))
+	}
+}
+
+// Summary holds min/max/mean of a float series.
+type Summary struct {
+	N        int
+	Min, Max float64
+	Mean     float64
+}
+
+// Summarize computes a Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	return s
+}
+
+// LinearFit returns slope and intercept of a least-squares line through
+// (x, y) points — used to extract per-entry traversal costs from latency
+// series.
+func LinearFit(xs, ys []float64) (slope, intercept float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}

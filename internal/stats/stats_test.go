@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Cells", "Block", "MHz")
+	tb.AddRow(256, 8, 112.5)
+	tb.AddRow(128, 32, 100.62)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Cells") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "112.5") {
+		t.Errorf("float not formatted: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "100.6") {
+		t.Errorf("float rounding wrong: %q", lines[3])
+	}
+	// Columns aligned: every row at least as wide as the header prefix.
+	for _, l := range lines[1:] {
+		if len(l) < 5 {
+			t.Errorf("suspicious row %q", l)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	CSV(&b, []string{"q", "lat"}, [][]any{{10, 1.5}, {20, 2.25}})
+	want := "q,lat\n10,1.500\n20,2.250\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.N != 3 || s.Min != 1 || s.Max != 3 || s.Mean != 2 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("empty Summarize = %+v", z)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 5
+	m, b := LinearFit(xs, ys)
+	if math.Abs(m-2) > 1e-9 || math.Abs(b-5) > 1e-9 {
+		t.Errorf("fit = %v, %v; want 2, 5", m, b)
+	}
+	m, b = LinearFit(nil, nil)
+	if m != 0 || b != 0 {
+		t.Error("empty fit not zero")
+	}
+	// Degenerate: all same x.
+	m, b = LinearFit([]float64{2, 2}, []float64{1, 3})
+	if m != 0 || b != 2 {
+		t.Errorf("degenerate fit = %v, %v; want 0, 2", m, b)
+	}
+}

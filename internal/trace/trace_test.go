@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.String() != "(empty)" {
+		t.Errorf("empty String = %q", h.String())
+	}
+	for _, d := range []int{0, 1, 1, 3, 7, 100, 5000} {
+		h.Add(d)
+	}
+	if h.N() != 7 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.Max() != 5000 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	wantMean := float64(0+1+1+3+7+100+5000) / 7
+	if h.Mean() != wantMean {
+		t.Errorf("Mean = %v, want %v", h.Mean(), wantMean)
+	}
+	if !strings.Contains(h.String(), "n=7") {
+		t.Errorf("String = %q", h.String())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Add(-5)
+	if h.Max() != 0 || h.Mean() != 0 {
+		t.Error("negative depth not clamped to 0")
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Add(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(200)
+	}
+	if p := h.Percentile(0.5); p != 1 {
+		t.Errorf("p50 = %d, want 1", p)
+	}
+	if p := h.Percentile(0.99); p != 256 {
+		t.Errorf("p99 = %d, want bucket edge 256", p)
+	}
+	var empty Histogram
+	if empty.Percentile(0.5) != 0 {
+		t.Error("empty percentile not 0")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Add(0)
+	h.Add(3)
+	h.Add(3)
+	h.Add(9999)
+	bs := h.Buckets()
+	if len(bs) != 3 {
+		t.Fatalf("buckets = %+v", bs)
+	}
+	if bs[0].Label != "0" || bs[0].Count != 1 {
+		t.Errorf("bucket 0 = %+v", bs[0])
+	}
+	if bs[1].Label != "3-4" || bs[1].Count != 2 {
+		t.Errorf("bucket 1 = %+v", bs[1])
+	}
+	if bs[2].Label != ">4096" || bs[2].Count != 1 {
+		t.Errorf("bucket 2 = %+v", bs[2])
+	}
+}
+
+// Property: counts always sum to N and the mean is within the recorded
+// range.
+func TestHistogramInvariants(t *testing.T) {
+	f := func(depths []uint16) bool {
+		var h Histogram
+		for _, d := range depths {
+			h.Add(int(d))
+		}
+		var sum uint64
+		for _, b := range h.Buckets() {
+			sum += b.Count
+		}
+		if sum != h.N() {
+			return false
+		}
+		if h.N() > 0 && (h.Mean() < 0 || h.Mean() > float64(h.Max())) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesDecimation(t *testing.T) {
+	s := NewSeries(64)
+	for i := 0; i < 10_000; i++ {
+		s.Add(int64(i), i)
+	}
+	if s.Len() > 64 {
+		t.Fatalf("series exceeded limit: %d", s.Len())
+	}
+	if s.Len() < 16 {
+		t.Fatalf("series over-decimated: %d", s.Len())
+	}
+	// Samples stay time-ordered after decimation.
+	for i := 1; i < s.Len(); i++ {
+		if s.Times[i] <= s.Times[i-1] {
+			t.Fatal("series not monotone after decimation")
+		}
+	}
+	if s.MaxValue() == 0 {
+		t.Fatal("MaxValue lost all data")
+	}
+}
+
+func TestSeriesSmall(t *testing.T) {
+	s := NewSeries(0) // default limit
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if s.Len() != 2 || s.MaxValue() != 20 {
+		t.Fatalf("Len=%d Max=%d", s.Len(), s.MaxValue())
+	}
+}
