@@ -12,6 +12,7 @@ package alpusim
 //	go run ./cmd/alpusim -experiment all
 
 import (
+	"runtime"
 	"testing"
 
 	"alpusim/internal/alpu"
@@ -54,6 +55,11 @@ func BenchmarkTable5(b *testing.B) { benchmarkFPGATable(b, alpu.UnexpectedMessag
 
 // --- Figure 5 --------------------------------------------------------
 
+// benchJobs fans each sweep's independent worlds across the machine; the
+// sim-ns metrics are identical at any setting (see internal/sweep), only
+// wall-clock ns/op changes.
+var benchJobs = runtime.GOMAXPROCS(0)
+
 // fig5Rep measures the representative cut of a Fig. 5 surface: base
 // latency, the in-ALPU (or in-cache) region, and the deep-queue region.
 func fig5Rep(b *testing.B, kind bench.NICKind) {
@@ -63,6 +69,7 @@ func fig5Rep(b *testing.B, kind bench.NICKind) {
 			NIC:       bench.NICConfig(kind),
 			QueueLens: []int{0, 200, 400},
 			Fracs:     []float64{1.0},
+			Jobs:      benchJobs,
 		})
 		base, mid, deep = pts[0].Latency, pts[1].Latency, pts[2].Latency
 	}
@@ -88,6 +95,7 @@ func fig6Rep(b *testing.B, kind bench.NICKind) {
 		pts := bench.RunUnexpected(bench.UnexpectedConfig{
 			NIC:       bench.NICConfig(kind),
 			QueueLens: []int{0, 100, 300},
+			Jobs:      benchJobs,
 		})
 		short, mid, deep = pts[0].Latency, pts[1].Latency, pts[2].Latency
 	}
@@ -170,7 +178,7 @@ func BenchmarkAblationThreshold(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := nic.Config{UseALPU: true, Cells: 256, Threshold: th}
 				pts := bench.RunPreposted(bench.PrepostedConfig{
-					NIC: cfg, QueueLens: []int{2, 100}, Fracs: []float64{1.0},
+					NIC: cfg, QueueLens: []int{2, 100}, Fracs: []float64{1.0}, Jobs: benchJobs,
 				})
 				shortQ, longQ = pts[0].Latency, pts[1].Latency
 			}
@@ -198,7 +206,7 @@ func BenchmarkAblationHashList(b *testing.B) {
 			var q0, q400 sim.Time
 			for i := 0; i < b.N; i++ {
 				pts := bench.RunPreposted(bench.PrepostedConfig{
-					NIC: cfg.nic, QueueLens: []int{0, 400}, Fracs: []float64{1.0},
+					NIC: cfg.nic, QueueLens: []int{0, 400}, Fracs: []float64{1.0}, Jobs: benchJobs,
 				})
 				q0, q400 = pts[0].Latency, pts[1].Latency
 			}
@@ -335,7 +343,7 @@ func BenchmarkGap(b *testing.B) {
 		b.Run(cfg.name, func(b *testing.B) {
 			var pts []bench.GapPoint
 			for i := 0; i < b.N; i++ {
-				pts = bench.RunGap(bench.GapConfig{NIC: cfg.nic, Depths: []int{0, 100}})
+				pts = bench.RunGap(bench.GapConfig{NIC: cfg.nic, Depths: []int{0, 100}, Jobs: benchJobs})
 			}
 			b.ReportMetric(pts[0].NsPerMsg, "sim-ns-msg-d0")
 			b.ReportMetric(pts[1].NsPerMsg, "sim-ns-msg-d100")

@@ -10,20 +10,28 @@
 //	fig5-alpu256   latency surface, NIC + 256-entry ALPU (Fig. 5e/f)
 //	fig6           unexpected-queue latency series, all 3 NICs (Fig. 6)
 //	anchors        the §VI-B/§VI-C text anchors, measured vs published
-//	all            everything above
+//	bench          wall-clock harness: times every figure sweep at -jobs 1
+//	               and -jobs N and writes BENCH.json with the speedups
+//	all            everything above except bench
 //
 // Flags: -quick shrinks the sweeps (~10x faster), -format csv emits
-// machine-readable series instead of tables.
+// machine-readable series instead of tables, -jobs N fans the independent
+// simulation worlds of each sweep across N workers (results are
+// byte-identical at any setting; -jobs 1 is fully sequential).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"alpusim/internal/alpu"
 	"alpusim/internal/bench"
 	"alpusim/internal/fpga"
+	"alpusim/internal/nic"
 	"alpusim/internal/params"
 	"alpusim/internal/stats"
 )
@@ -33,10 +41,15 @@ var (
 	quick      = flag.Bool("quick", false, "reduced sweeps")
 	format     = flag.String("format", "table", "output format: table or csv")
 	msgSize    = flag.Int("size", 0, "message payload bytes for fig5/fig6")
+	jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation worlds per sweep (1 = sequential)")
+	benchOut   = flag.String("benchout", "BENCH.json", "output path for -experiment bench")
 )
 
 func main() {
 	flag.Parse()
+	if *jobs < 1 {
+		*jobs = runtime.GOMAXPROCS(0)
+	}
 	switch *experiment {
 	case "tab3":
 		tab3()
@@ -56,6 +69,8 @@ func main() {
 		gapExp()
 	case "anchors":
 		anchors()
+	case "bench":
+		benchHarness()
 	case "all":
 		tab3()
 		fpgaTable(alpu.PostedReceives)
@@ -139,6 +154,7 @@ func fig5(kind bench.NICKind) {
 		QueueLens: queueLens(),
 		Fracs:     fracs(),
 		MsgSize:   *msgSize,
+		Jobs:      *jobs,
 	})
 	if *format == "csv" {
 		rows := make([][]any, 0, len(pts))
@@ -181,35 +197,59 @@ func fig5(kind bench.NICKind) {
 	fmt.Println()
 }
 
+// unexpectedByQ indexes a Fig. 6 series by queue length, so row assembly
+// across separately-run configs keys on the measured point rather than its
+// slice position — a filtered or reordered sweep cannot silently misalign
+// the table.
+func unexpectedByQ(pts []bench.UnexpectedPoint) map[int]bench.UnexpectedPoint {
+	m := make(map[int]bench.UnexpectedPoint, len(pts))
+	for _, p := range pts {
+		m[p.QueueLen] = p
+	}
+	return m
+}
+
 func fig6() {
 	fmt.Printf("Fig. 6: unexpected queue latency, %d-byte messages (ns)\n", *msgSize)
-	series := map[bench.NICKind][]bench.UnexpectedPoint{}
 	kinds := []bench.NICKind{bench.Baseline, bench.ALPU128, bench.ALPU256}
+	series := map[bench.NICKind]map[int]bench.UnexpectedPoint{}
 	for _, k := range kinds {
-		series[k] = bench.RunUnexpected(bench.UnexpectedConfig{
+		series[k] = unexpectedByQ(bench.RunUnexpected(bench.UnexpectedConfig{
 			NIC:       bench.NICConfig(k),
 			QueueLens: unexpLens(),
 			MsgSize:   *msgSize,
-		})
+			Jobs:      *jobs,
+		}))
 	}
 	if *format == "csv" {
 		rows := make([][]any, 0)
-		for i, u := range unexpLens() {
+		for _, u := range unexpLens() {
+			b, okB := series[bench.Baseline][u]
+			a1, okA1 := series[bench.ALPU128][u]
+			a2, okA2 := series[bench.ALPU256][u]
+			if !okB || !okA1 || !okA2 {
+				continue // length missing from a series: drop, never misalign
+			}
 			rows = append(rows, []any{u,
-				series[bench.Baseline][i].Latency.Nanoseconds(),
-				series[bench.ALPU128][i].Latency.Nanoseconds(),
-				series[bench.ALPU256][i].Latency.Nanoseconds()})
+				b.Latency.Nanoseconds(),
+				a1.Latency.Nanoseconds(),
+				a2.Latency.Nanoseconds()})
 		}
 		stats.CSV(os.Stdout, []string{"queue_len", "baseline_ns", "alpu128_ns", "alpu256_ns"}, rows)
 		fmt.Println()
 		return
 	}
 	tb := stats.NewTable("Unexpected Q", "baseline", "alpu-128", "alpu-256")
-	for i, u := range unexpLens() {
-		tb.AddRow(u,
-			fmt.Sprintf("%.0f", series[bench.Baseline][i].Latency.Nanoseconds()),
-			fmt.Sprintf("%.0f", series[bench.ALPU128][i].Latency.Nanoseconds()),
-			fmt.Sprintf("%.0f", series[bench.ALPU256][i].Latency.Nanoseconds()))
+	for _, u := range unexpLens() {
+		row := []any{u}
+		for _, k := range kinds {
+			if p, ok := series[k][u]; ok {
+				row = append(row, fmt.Sprintf("%.0f", p.Latency.Nanoseconds()))
+			} else {
+				row = append(row, "·")
+			}
+		}
+		tb.AddRow(row...)
 	}
 	tb.Render(os.Stdout)
 	fmt.Println()
@@ -223,18 +263,35 @@ func gapExp() {
 	if *quick {
 		depths = []int{0, 50, 150}
 	}
-	series := map[string][]bench.GapPoint{}
-	order := []string{"baseline", "alpu-128", "alpu-256", "elan4-class"}
-	series["baseline"] = bench.RunGap(bench.GapConfig{NIC: bench.NICConfig(bench.Baseline), Depths: depths})
-	series["alpu-128"] = bench.RunGap(bench.GapConfig{NIC: bench.NICConfig(bench.ALPU128), Depths: depths})
-	series["alpu-256"] = bench.RunGap(bench.GapConfig{NIC: bench.NICConfig(bench.ALPU256), Depths: depths})
-	series["elan4-class"] = bench.RunGap(bench.GapConfig{NIC: bench.ElanNICConfig(), Depths: depths})
+	configs := []struct {
+		name string
+		nic  nic.Config
+	}{
+		{"baseline", bench.NICConfig(bench.Baseline)},
+		{"alpu-128", bench.NICConfig(bench.ALPU128)},
+		{"alpu-256", bench.NICConfig(bench.ALPU256)},
+		{"elan4-class", bench.ElanNICConfig()},
+	}
+	// As in fig6: key each series by depth so separately-run configs can
+	// never be joined by slice position.
+	series := map[string]map[int]bench.GapPoint{}
+	for _, c := range configs {
+		byDepth := make(map[int]bench.GapPoint, len(depths))
+		for _, p := range bench.RunGap(bench.GapConfig{NIC: c.nic, Depths: depths, Jobs: *jobs}) {
+			byDepth[p.Depth] = p
+		}
+		series[c.name] = byDepth
+	}
 
 	tb := stats.NewTable("depth", "baseline ns/msg", "alpu-128", "alpu-256", "elan4-class")
-	for i, d := range depths {
+	for _, d := range depths {
 		row := []any{d}
-		for _, k := range order {
-			row = append(row, fmt.Sprintf("%.0f", series[k][i].NsPerMsg))
+		for _, c := range configs {
+			if p, ok := series[c.name][d]; ok {
+				row = append(row, fmt.Sprintf("%.0f", p.NsPerMsg))
+			} else {
+				row = append(row, "·")
+			}
 		}
 		tb.AddRow(row...)
 	}
@@ -242,20 +299,134 @@ func gapExp() {
 	fmt.Println()
 }
 
+// benchResult is one BENCH.json entry: the same sweep timed sequentially
+// and with the worker pool.
+type benchResult struct {
+	Experiment    string  `json:"experiment"`
+	Points        int     `json:"points"`
+	SequentialSec float64 `json:"sequential_sec"`
+	ParallelSec   float64 `json:"parallel_sec"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// benchReport is the BENCH.json document: a per-experiment wall-clock
+// trajectory future PRs can diff against.
+type benchReport struct {
+	Quick       bool          `json:"quick"`
+	Jobs        int           `json:"jobs"`
+	NumCPU      int           `json:"num_cpu"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	Experiments []benchResult `json:"experiments"`
+	TotalSeqSec float64       `json:"total_sequential_sec"`
+	TotalParSec float64       `json:"total_parallel_sec"`
+	Speedup     float64       `json:"speedup"`
+}
+
+// benchHarness times the full Fig. 5 + Fig. 6 + gap sweeps at -jobs 1 and
+// at -jobs N and writes BENCH.json. The sweeps are the ones the figure
+// experiments run (honouring -quick); output tables are skipped so the
+// numbers measure simulation, not rendering.
+func benchHarness() {
+	parJobs := *jobs
+	type exp struct {
+		name string
+		run  func(jobs int) int // returns number of points simulated
+	}
+	fig5 := func(kind bench.NICKind) func(int) int {
+		return func(jobs int) int {
+			return len(bench.RunPreposted(bench.PrepostedConfig{
+				NIC:       bench.NICConfig(kind),
+				QueueLens: queueLens(),
+				Fracs:     fracs(),
+				MsgSize:   *msgSize,
+				Jobs:      jobs,
+			}))
+		}
+	}
+	exps := []exp{
+		{"fig5-baseline", fig5(bench.Baseline)},
+		{"fig5-alpu128", fig5(bench.ALPU128)},
+		{"fig5-alpu256", fig5(bench.ALPU256)},
+		{"fig6", func(jobs int) int {
+			n := 0
+			for _, k := range []bench.NICKind{bench.Baseline, bench.ALPU128, bench.ALPU256} {
+				n += len(bench.RunUnexpected(bench.UnexpectedConfig{
+					NIC: bench.NICConfig(k), QueueLens: unexpLens(), MsgSize: *msgSize, Jobs: jobs,
+				}))
+			}
+			return n
+		}},
+		{"gap", func(jobs int) int {
+			depths := []int{0, 25, 50, 100, 150, 200}
+			if *quick {
+				depths = []int{0, 50, 150}
+			}
+			n := 0
+			for _, c := range []nic.Config{
+				bench.NICConfig(bench.Baseline),
+				bench.NICConfig(bench.ALPU128),
+				bench.NICConfig(bench.ALPU256),
+				bench.ElanNICConfig(),
+			} {
+				n += len(bench.RunGap(bench.GapConfig{NIC: c, Depths: depths, Jobs: jobs}))
+			}
+			return n
+		}},
+	}
+
+	rep := benchReport{
+		Quick:      *quick,
+		Jobs:       parJobs,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, x := range exps {
+		t0 := time.Now()
+		points := x.run(1)
+		seq := time.Since(t0).Seconds()
+		t0 = time.Now()
+		x.run(parJobs)
+		par := time.Since(t0).Seconds()
+		r := benchResult{Experiment: x.name, Points: points, SequentialSec: seq, ParallelSec: par}
+		if par > 0 {
+			r.Speedup = seq / par
+		}
+		rep.Experiments = append(rep.Experiments, r)
+		rep.TotalSeqSec += seq
+		rep.TotalParSec += par
+		fmt.Printf("%-14s %3d points  seq %6.2fs  par(%d) %6.2fs  %.2fx\n",
+			x.name, points, seq, parJobs, par, r.Speedup)
+	}
+	if rep.TotalParSec > 0 {
+		rep.Speedup = rep.TotalSeqSec / rep.TotalParSec
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alpusim: marshal bench report: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "alpusim: write %s: %v\n", *benchOut, err)
+		os.Exit(1)
+	}
+	fmt.Printf("total: seq %.2fs, par %.2fs, %.2fx -> %s\n",
+		rep.TotalSeqSec, rep.TotalParSec, rep.Speedup, *benchOut)
+}
+
 func anchors() {
 	fmt.Println("Measured vs published anchors (§VI-B, §VI-C)")
 	qls := []int{0, 5, 25, 50, 100, 150, 200, 350, 400, 450, 500}
 	base := bench.RunPreposted(bench.PrepostedConfig{
-		NIC: bench.NICConfig(bench.Baseline), QueueLens: qls, Fracs: []float64{0.8, 1.0},
+		NIC: bench.NICConfig(bench.Baseline), QueueLens: qls, Fracs: []float64{0.8, 1.0}, Jobs: *jobs,
 	})
 	al := bench.RunPreposted(bench.PrepostedConfig{
-		NIC: bench.NICConfig(bench.ALPU256), QueueLens: qls, Fracs: []float64{1.0},
+		NIC: bench.NICConfig(bench.ALPU256), QueueLens: qls, Fracs: []float64{1.0}, Jobs: *jobs,
 	})
 	a5 := bench.ExtractFig5(base, al, 256)
 
 	uls := []int{0, 25, 50, 60, 70, 80, 90, 100, 150}
-	b6 := bench.RunUnexpected(bench.UnexpectedConfig{NIC: bench.NICConfig(bench.Baseline), QueueLens: uls})
-	a6x := bench.RunUnexpected(bench.UnexpectedConfig{NIC: bench.NICConfig(bench.ALPU256), QueueLens: uls})
+	b6 := bench.RunUnexpected(bench.UnexpectedConfig{NIC: bench.NICConfig(bench.Baseline), QueueLens: uls, Jobs: *jobs})
+	a6x := bench.RunUnexpected(bench.UnexpectedConfig{NIC: bench.NICConfig(bench.ALPU256), QueueLens: uls, Jobs: *jobs})
 	a6 := bench.ExtractFig6(b6, a6x)
 
 	tb := stats.NewTable("Anchor", "Paper", "Measured")

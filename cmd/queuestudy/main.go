@@ -4,18 +4,20 @@
 // deep the MPI queues grow, where matches land in them, and what the
 // ALPU does to traversal work and completion time.
 //
-//	queuestudy [-ranks 4,8,16] [-workload all|halo|master|storm|sweep|irregular] [-cells 128]
+//	queuestudy [-ranks 4,8,16] [-workload all|halo|master|storm|sweep|irregular] [-cells 128] [-jobs N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"alpusim/internal/nic"
 	"alpusim/internal/stats"
+	"alpusim/internal/sweep"
 	"alpusim/internal/workloads"
 )
 
@@ -23,6 +25,7 @@ var (
 	ranksFlag = flag.String("ranks", "4,8,16", "comma-separated process counts")
 	workload  = flag.String("workload", "all", "halo, master, storm, sweep, irregular, or all")
 	cells     = flag.Int("cells", 128, "ALPU cells for the accelerated runs")
+	jobsFlag  = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation worlds (1 = sequential)")
 )
 
 type runner struct {
@@ -52,6 +55,9 @@ func runners() []runner {
 
 func main() {
 	flag.Parse()
+	if *jobsFlag < 1 {
+		*jobsFlag = runtime.GOMAXPROCS(0)
+	}
 	var ranks []int
 	for _, part := range strings.Split(*ranksFlag, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
@@ -67,24 +73,44 @@ func main() {
 		"peak posted", "peak unexp", "match depth p50/p99/max",
 		"traversed base", "traversed alpu", "elapsed base", "elapsed alpu", "speedup")
 
+	// Every (workload, ranks, NIC) simulation is an independent world:
+	// enumerate the matrix, fan it across the sweep pool, and assemble
+	// rows in enumeration order so output is identical at any -jobs.
+	type study struct {
+		name        string
+		ranks       int
+		base, accel workloads.Report
+	}
+	var studies []study
+	var runs []func() workloads.Report
 	for _, r := range runners() {
 		if *workload != "all" && *workload != r.name {
 			continue
 		}
 		for _, n := range ranks {
-			base := r.run(nic.Config{}, n)
-			accel := r.run(nic.Config{UseALPU: true, Cells: *cells}, n)
-			depths := base.PostedDepths
-			depths.Merge(&base.UnexpDepths)
-			speedup := float64(base.Elapsed) / float64(accel.Elapsed)
-			tb.AddRow(r.name, n,
-				base.PeakPosted, base.PeakUnexp,
-				fmt.Sprintf("%d/%d/%d", depths.Percentile(0.5), depths.Percentile(0.99), depths.Max()),
-				base.EntriesTraversed, accel.EntriesTraversed,
-				fmt.Sprintf("%.1fus", base.Elapsed.Microseconds()),
-				fmt.Sprintf("%.1fus", accel.Elapsed.Microseconds()),
-				fmt.Sprintf("%.2fx", speedup))
+			r, n := r, n
+			studies = append(studies, study{name: r.name, ranks: n})
+			runs = append(runs,
+				func() workloads.Report { return r.run(nic.Config{}, n) },
+				func() workloads.Report { return r.run(nic.Config{UseALPU: true, Cells: *cells}, n) })
 		}
+	}
+	reports := sweep.Map(*jobsFlag, len(runs), func(i int) workloads.Report { return runs[i]() })
+	for i := range studies {
+		studies[i].base, studies[i].accel = reports[2*i], reports[2*i+1]
+	}
+
+	for _, s := range studies {
+		depths := s.base.PostedDepths
+		depths.Merge(&s.base.UnexpDepths)
+		speedup := float64(s.base.Elapsed) / float64(s.accel.Elapsed)
+		tb.AddRow(s.name, s.ranks,
+			s.base.PeakPosted, s.base.PeakUnexp,
+			fmt.Sprintf("%d/%d/%d", depths.Percentile(0.5), depths.Percentile(0.99), depths.Max()),
+			s.base.EntriesTraversed, s.accel.EntriesTraversed,
+			fmt.Sprintf("%.1fus", s.base.Elapsed.Microseconds()),
+			fmt.Sprintf("%.1fus", s.accel.Elapsed.Microseconds()),
+			fmt.Sprintf("%.2fx", speedup))
 	}
 	tb.Render(os.Stdout)
 	fmt.Println()

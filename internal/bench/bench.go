@@ -9,6 +9,7 @@ import (
 	"alpusim/internal/mpi"
 	"alpusim/internal/nic"
 	"alpusim/internal/sim"
+	"alpusim/internal/sweep"
 )
 
 // Tags used by the workloads. NoMatchTag entries never match a probe;
@@ -77,6 +78,18 @@ type PrepostedConfig struct {
 	// Iters is the number of measured probes per point; the final
 	// iteration (cache steady state) is reported. Default 3.
 	Iters int
+	// Jobs is the number of simulation worlds run in parallel (each point
+	// is an independent world, so results are identical at any setting).
+	// 0 or 1 runs sequentially; < 0 selects runtime.GOMAXPROCS(0).
+	Jobs int
+}
+
+// jobs maps the config's zero value to the historical sequential run.
+func normJobs(jobs int) int {
+	if jobs == 0 {
+		return 1
+	}
+	return sweep.Jobs(jobs)
 }
 
 // iters-many matching receives are pre-posted back to back at the chosen
@@ -90,14 +103,19 @@ func (c PrepostedConfig) iters() int {
 	return c.Iters
 }
 
-// RunPreposted measures the full surface for one NIC configuration. Each
-// point runs in a fresh two-node world: rank 0 sends the probe messages,
-// rank 1 holds the pre-posted queue.
-func RunPreposted(cfg PrepostedConfig) []PrepostedPoint {
-	var out []PrepostedPoint
-	for _, q := range cfg.QueueLens {
+// prepostedCell is one (queue length, fraction, traversed) cell of the
+// surface, enumerated up front so the sweep engine can fan the cells out.
+type prepostedCell struct {
+	q int
+	f float64
+	p int
+}
+
+func (c PrepostedConfig) cells() []prepostedCell {
+	var cells []prepostedCell
+	for _, q := range c.QueueLens {
 		seen := map[int]bool{}
-		for _, f := range cfg.Fracs {
+		for _, f := range c.Fracs {
 			p := int(f*float64(q) + 0.5)
 			if p > q {
 				p = q
@@ -106,14 +124,26 @@ func RunPreposted(cfg PrepostedConfig) []PrepostedPoint {
 				continue // distinct fractions can alias at small Q
 			}
 			seen[p] = true
-			lat := prepostedPoint(cfg, q, p)
-			out = append(out, PrepostedPoint{
-				QueueLen: q, Frac: f, Traversed: p,
-				MsgSize: cfg.MsgSize, Latency: lat,
-			})
+			cells = append(cells, prepostedCell{q: q, f: f, p: p})
 		}
 	}
-	return out
+	return cells
+}
+
+// RunPreposted measures the full surface for one NIC configuration. Each
+// point runs in a fresh two-node world: rank 0 sends the probe messages,
+// rank 1 holds the pre-posted queue. Points are independent worlds and run
+// on cfg.Jobs workers; the result order is the enumeration order
+// regardless of parallelism.
+func RunPreposted(cfg PrepostedConfig) []PrepostedPoint {
+	cells := cfg.cells()
+	return sweep.Map(normJobs(cfg.Jobs), len(cells), func(i int) PrepostedPoint {
+		c := cells[i]
+		return PrepostedPoint{
+			QueueLen: c.q, Frac: c.f, Traversed: c.p,
+			MsgSize: cfg.MsgSize, Latency: prepostedPoint(cfg, c.q, c.p),
+		}
+	})
 }
 
 // prepostedPoint measures one (queue length, traversed) cell.
@@ -178,21 +208,22 @@ type UnexpectedConfig struct {
 	NIC       nic.Config
 	QueueLens []int
 	MsgSize   int
+	// Jobs: parallel worlds, as in PrepostedConfig.
+	Jobs int
 }
 
 // RunUnexpected measures latency — including the time to post the
 // receive, overlapped with the transfer (§V-A, §VI-C) — as a function of
-// the unexpected queue length.
+// the unexpected queue length. Points run on cfg.Jobs parallel worlds.
 func RunUnexpected(cfg UnexpectedConfig) []UnexpectedPoint {
-	var out []UnexpectedPoint
-	for _, u := range cfg.QueueLens {
-		out = append(out, UnexpectedPoint{
+	return sweep.Map(normJobs(cfg.Jobs), len(cfg.QueueLens), func(i int) UnexpectedPoint {
+		u := cfg.QueueLens[i]
+		return UnexpectedPoint{
 			QueueLen: u,
 			MsgSize:  cfg.MsgSize,
 			Latency:  unexpectedPoint(cfg, u),
-		})
-	}
-	return out
+		}
+	})
 }
 
 func unexpectedPoint(cfg UnexpectedConfig, u int) sim.Time {

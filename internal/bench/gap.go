@@ -5,6 +5,7 @@ import (
 	"alpusim/internal/nic"
 	"alpusim/internal/params"
 	"alpusim/internal/sim"
+	"alpusim/internal/sweep"
 )
 
 // GapPoint is one measurement of the message-rate benchmark.
@@ -25,25 +26,25 @@ type GapConfig struct {
 	Depths  []int
 	Burst   int // messages per measurement (default 32)
 	MsgSize int
+	// Jobs: parallel worlds, as in PrepostedConfig.
+	Jobs int
 }
 
 // RunGap measures the achieved receiver-side message rate as a function
-// of the match depth.
+// of the match depth. Depths run on cfg.Jobs parallel worlds.
 func RunGap(cfg GapConfig) []GapPoint {
 	burst := cfg.Burst
 	if burst <= 0 {
 		burst = 32
 	}
-	var out []GapPoint
-	for _, d := range cfg.Depths {
-		gap := gapPoint(cfg, d, burst)
-		out = append(out, GapPoint{
-			Depth:     d,
+	return sweep.Map(normJobs(cfg.Jobs), len(cfg.Depths), func(i int) GapPoint {
+		gap := gapPoint(cfg, cfg.Depths[i], burst)
+		return GapPoint{
+			Depth:     cfg.Depths[i],
 			NsPerMsg:  gap.Nanoseconds(),
 			MsgsPerUs: 1000 / gap.Nanoseconds(),
-		})
-	}
-	return out
+		}
+	})
 }
 
 // gapPoint measures one depth: the receiver pre-posts d never-matching

@@ -1,0 +1,42 @@
+package match
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchmarkListFindFirst measures the pure software matching loop at a
+// fixed traversal depth: depth-1 non-matching entries ahead of the match,
+// the worst case the firmware charges per-entry traversal cost for.
+func benchmarkListFindFirst(b *testing.B, depth int) {
+	var l List
+	for i := 0; i < depth-1; i++ {
+		l.Append(&Entry{
+			Bits: Pack(Header{Context: 1, Source: 2, Tag: int32(0x1000 + i)}),
+			Mask: FullMask,
+		})
+	}
+	l.Append(&Entry{
+		Bits: Pack(Header{Context: 1, Source: 2, Tag: 7}),
+		Mask: FullMask,
+	})
+	probe := Pack(Header{Context: 1, Source: 2, Tag: 7})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if l.FindFirst(probe, FullMask) != depth-1 {
+			b.Fatal("probe did not match the tail entry")
+		}
+	}
+}
+
+// BenchmarkListFindFirst covers the depths the figure benchmarks exercise:
+// a short in-ALPU queue (16), near the 128-cell unit size, and past the
+// NIC cache knee (512).
+func BenchmarkListFindFirst(b *testing.B) {
+	for _, depth := range []int{16, 128, 512} {
+		b.Run(fmt.Sprintf("depth-%d", depth), func(b *testing.B) {
+			benchmarkListFindFirst(b, depth)
+		})
+	}
+}

@@ -5,16 +5,15 @@ import (
 	"fmt"
 )
 
-// EventID identifies a scheduled event so it can be cancelled.
+// EventID identifies a cancellable scheduled event (see ScheduleCancellable).
 type EventID uint64
 
 type event struct {
-	at   Time
-	seq  uint64 // schedule order; breaks ties deterministically
-	fn   func()
-	id   EventID
-	heap *eventHeap
-	idx  int // index in heap, -1 when popped or cancelled
+	at  Time
+	seq uint64 // schedule order; breaks ties deterministically
+	fn  func()
+	id  EventID // non-zero only for cancellable events
+	idx int     // index in heap, -1 when popped or cancelled
 }
 
 type eventHeap []*event
@@ -48,14 +47,21 @@ func (h *eventHeap) Pop() any {
 
 // Engine is the discrete event simulation kernel. It is not safe for
 // concurrent use; co-simulated processes (see Process) hand control back and
-// forth so that exactly one goroutine touches the Engine at a time.
+// forth so that exactly one goroutine touches the Engine at a time. Distinct
+// Engines are fully independent, so whole worlds may run on parallel
+// goroutines (see internal/sweep).
 type Engine struct {
 	now     Time
 	events  eventHeap
 	seq     uint64
 	nextID  EventID
-	byID    map[EventID]*event
+	byID    map[EventID]*event // lazily allocated; cancellable events only
+	free    []*event           // recycled event objects (hot-path fast path)
 	stopped bool
+
+	// procFailure holds a panic captured from a co-simulated process
+	// goroutine, re-raised on the engine goroutine by Process.run.
+	procFailure *ProcessPanic
 
 	// Stats.
 	executed uint64
@@ -65,7 +71,7 @@ type Engine struct {
 
 // NewEngine returns an empty simulation at time zero.
 func NewEngine() *Engine {
-	return &Engine{byID: make(map[EventID]*event)}
+	return &Engine{}
 }
 
 // Now returns the current simulated time.
@@ -74,30 +80,73 @@ func (e *Engine) Now() Time { return e.now }
 // Executed reports how many events have fired so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Schedule runs fn after delay d. A negative delay is an error in the model,
-// so it panics rather than silently reordering time.
-func (e *Engine) Schedule(d Time, fn func()) EventID {
-	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v at %v", d, e.now))
-	}
-	return e.At(e.now+d, fn)
-}
-
-// At runs fn at absolute time t (>= Now).
-func (e *Engine) At(t Time, fn func()) EventID {
+// push takes an event object off the free list (or allocates one), stamps
+// it, and inserts it into the heap.
+func (e *Engine) push(t Time, fn func()) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", t, e.now))
 	}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
 	e.seq++
-	e.nextID++
-	ev := &event{at: t, seq: e.seq, fn: fn, id: e.nextID}
+	ev.at, ev.seq, ev.fn, ev.id = t, e.seq, fn, 0
 	heap.Push(&e.events, ev)
+	return ev
+}
+
+// recycle returns a popped or cancelled event object to the free list.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
+// Schedule runs fn after delay d. A negative delay is an error in the model,
+// so it panics rather than silently reordering time. The event cannot be
+// cancelled — this is the allocation-free hot path; use ScheduleCancellable
+// for timeouts and other maybe-revoked work.
+func (e *Engine) Schedule(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v at %v", d, e.now))
+	}
+	e.push(e.now+d, fn)
+}
+
+// At runs fn at absolute time t (>= Now). Like Schedule, the event cannot
+// be cancelled.
+func (e *Engine) At(t Time, fn func()) {
+	e.push(t, fn)
+}
+
+// ScheduleCancellable is Schedule for events that may later be revoked with
+// Cancel. It registers the event in the id table, which the plain
+// Schedule/At fast path skips entirely.
+func (e *Engine) ScheduleCancellable(d Time, fn func()) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v at %v", d, e.now))
+	}
+	return e.AtCancellable(e.now+d, fn)
+}
+
+// AtCancellable is At for events that may later be revoked with Cancel.
+func (e *Engine) AtCancellable(t Time, fn func()) EventID {
+	ev := e.push(t, fn)
+	e.nextID++
+	ev.id = e.nextID
+	if e.byID == nil {
+		e.byID = make(map[EventID]*event)
+	}
 	e.byID[ev.id] = ev
 	return ev.id
 }
 
-// Cancel removes a pending event. Cancelling an event that already fired or
-// was already cancelled is a no-op and reports false.
+// Cancel removes a pending cancellable event. Cancelling an event that
+// already fired or was already cancelled is a no-op and reports false.
 func (e *Engine) Cancel(id EventID) bool {
 	ev, ok := e.byID[id]
 	if !ok {
@@ -107,6 +156,7 @@ func (e *Engine) Cancel(id EventID) bool {
 	if ev.idx >= 0 {
 		heap.Remove(&e.events, ev.idx)
 	}
+	e.recycle(ev)
 	return true
 }
 
@@ -120,13 +170,19 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&e.events).(*event)
-	delete(e.byID, ev.id)
+	if ev.id != 0 {
+		delete(e.byID, ev.id)
+	}
 	if ev.at < e.now {
 		panic("sim: event heap corrupted")
 	}
 	e.now = ev.at
 	e.executed++
-	ev.fn()
+	// Recycle before running fn: fn may schedule new events, which can
+	// legitimately reuse this object, while the local fn value stays valid.
+	fn := ev.fn
+	e.recycle(ev)
+	fn()
 	return true
 }
 

@@ -80,7 +80,7 @@ func TestEngineTieBreakIsScheduleOrder(t *testing.T) {
 func TestEngineCancel(t *testing.T) {
 	e := NewEngine()
 	fired := false
-	id := e.Schedule(10*Nanosecond, func() { fired = true })
+	id := e.ScheduleCancellable(10*Nanosecond, func() { fired = true })
 	if !e.Cancel(id) {
 		t.Fatal("Cancel of pending event reported false")
 	}
@@ -99,7 +99,7 @@ func TestEngineCancelMiddleOfHeap(t *testing.T) {
 	var ids []EventID
 	for i := 0; i < 10; i++ {
 		i := i
-		ids = append(ids, e.Schedule(Time(i+1)*Nanosecond, func() { fired = append(fired, i) }))
+		ids = append(ids, e.ScheduleCancellable(Time(i+1)*Nanosecond, func() { fired = append(fired, i) }))
 	}
 	e.Cancel(ids[4])
 	e.Cancel(ids[7])
@@ -211,6 +211,47 @@ func TestEngineMonotonicProperty(t *testing.T) {
 	}
 }
 
+// TestEngineFreeListReuse pins the fast-path property the figure sweeps
+// rely on: a schedule/step steady state recycles event objects instead of
+// allocating, and the byID table is never populated for plain Schedule.
+func TestEngineFreeListReuse(t *testing.T) {
+	e := NewEngine()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(Nanosecond, func() {})
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Schedule+Step allocates %.1f objects/op, want 0", allocs)
+	}
+	if e.byID != nil {
+		t.Fatal("plain Schedule populated the cancellable id table")
+	}
+}
+
+// TestEngineCancellableInterleaved mixes cancellable and plain events and
+// checks ids survive free-list recycling: a recycled object must not be
+// cancellable through its old id.
+func TestEngineCancellableInterleaved(t *testing.T) {
+	e := NewEngine()
+	var fired []string
+	id := e.ScheduleCancellable(5*Nanosecond, func() { fired = append(fired, "c1") })
+	e.Schedule(10*Nanosecond, func() { fired = append(fired, "p1") })
+	e.Run() // both fire; c1's object returns to the free list
+	if e.Cancel(id) {
+		t.Fatal("Cancel succeeded on an already-fired event")
+	}
+	// The recycled object backs a plain event now; the stale id must not
+	// reach it.
+	e.Schedule(5*Nanosecond, func() { fired = append(fired, "p2") })
+	if e.Cancel(id) {
+		t.Fatal("stale id cancelled a recycled plain event")
+	}
+	e.Run()
+	if len(fired) != 3 || fired[0] != "c1" || fired[1] != "p1" || fired[2] != "p2" {
+		t.Fatalf("fired %v, want [c1 p1 p2]", fired)
+	}
+}
+
 // Property: interleaved schedule/cancel/step sequences never corrupt heap
 // order.
 func TestEngineRandomOpsProperty(t *testing.T) {
@@ -228,7 +269,7 @@ func TestEngineRandomOpsProperty(t *testing.T) {
 		for op := 0; op < 500; op++ {
 			switch rng.Intn(3) {
 			case 0:
-				id := e.Schedule(Time(rng.Intn(100))*Nanosecond, check)
+				id := e.ScheduleCancellable(Time(rng.Intn(100))*Nanosecond, check)
 				live = append(live, id)
 			case 1:
 				if len(live) > 0 {

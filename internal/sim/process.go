@@ -1,6 +1,24 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// ProcessPanic is the value re-raised on the engine goroutine when a
+// co-simulated process panics. Without this hand-off the panic would unwind
+// a bare goroutine and abort the whole program — with it, the panic
+// propagates out of Engine.Run on the caller's goroutine, where a sweep
+// worker (internal/sweep) can recover it and fail just that world.
+type ProcessPanic struct {
+	Proc  string // name of the process that panicked
+	Value any    // the original panic value
+	Stack []byte // stack of the panicking process goroutine
+}
+
+func (pp *ProcessPanic) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v\n%s", pp.Proc, pp.Value, pp.Stack)
+}
 
 // Process is a co-simulated thread of control: a plain Go function that
 // consumes simulated time through Sleep/WaitSignal calls. The paper's NIC
@@ -36,8 +54,13 @@ func (e *Engine) Spawn(name string, fn func(p *Process)) *Process {
 		<-p.resume
 		// The final yield runs via defer so that the engine is released
 		// even if fn unwinds via runtime.Goexit (e.g. t.Fatal inside a
-		// test-driver process).
+		// test-driver process). A panic is captured here and re-raised on
+		// the engine goroutine (see ProcessPanic); recover returns nil for
+		// Goexit, preserving the old behaviour for that path.
 		defer func() {
+			if r := recover(); r != nil {
+				p.eng.procFailure = &ProcessPanic{Proc: p.name, Value: r, Stack: debug.Stack()}
+			}
 			p.done = true
 			p.yield <- struct{}{}
 		}()
@@ -66,6 +89,10 @@ func (p *Process) run(gen uint64) {
 	p.gen++
 	p.resume <- struct{}{}
 	<-p.yield
+	if f := p.eng.procFailure; f != nil {
+		p.eng.procFailure = nil
+		panic(f)
+	}
 }
 
 // park suspends the process until some engine event calls run again.

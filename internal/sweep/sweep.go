@@ -1,0 +1,105 @@
+// Package sweep is the parallel sweep engine behind the figure benchmarks:
+// it fans fully independent (config, point) simulation worlds across a
+// worker pool with deterministic, index-ordered result collection.
+//
+// Every simulated world owns its engine, NICs, caches and RNG state
+// (internal/sim engines are independent by construction), so point i's
+// result depends only on i — never on scheduling — and a parallel sweep is
+// byte-identical to a sequential one. Panics inside a world (including
+// panics from co-simulated rank programs, which internal/sim re-raises on
+// the world's goroutine) fail the whole sweep rather than deadlocking the
+// pool.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Jobs normalises a worker-count setting: values <= 0 select
+// runtime.GOMAXPROCS(0), anything else is returned unchanged.
+func Jobs(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// panicRecord captures the first world panic observed by the pool.
+type panicRecord struct {
+	index int
+	value any
+	stack []byte
+}
+
+// Map runs fn(i) for every i in [0, n) on up to jobs workers and returns
+// the results in index order. jobs <= 0 selects runtime.GOMAXPROCS(0);
+// jobs == 1 runs inline on the caller's goroutine, exactly the historical
+// sequential behaviour. If any fn panics, Map re-panics on the caller's
+// goroutine with the first panic (by observation order) after all workers
+// have drained — no goroutine is left blocked.
+func Map[T any](jobs, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	jobs = Jobs(jobs)
+	if jobs > n {
+		jobs = n
+	}
+	out := make([]T, n)
+	if jobs == 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+
+	var (
+		next   atomic.Int64 // next index to claim, minus one
+		failed atomic.Bool  // stop claiming new points after a panic
+		firstP atomic.Pointer[panicRecord]
+		wg     sync.WaitGroup
+	)
+	next.Store(-1)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				runPoint(i, &failed, &firstP, func() { out[i] = fn(i) })
+			}
+		}()
+	}
+	wg.Wait()
+	if pr := firstP.Load(); pr != nil {
+		panic(fmt.Sprintf("sweep: point %d panicked: %v\n%s", pr.index, pr.value, pr.stack))
+	}
+	return out
+}
+
+// runPoint executes one point, converting a panic into a recorded failure.
+func runPoint(i int, failed *atomic.Bool, firstP *atomic.Pointer[panicRecord], run func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			firstP.CompareAndSwap(nil, &panicRecord{index: i, value: r, stack: debug.Stack()})
+			failed.Store(true)
+		}
+	}()
+	run()
+}
+
+// Run executes heterogeneous independent tasks (e.g. the per-NIC series of
+// one figure) across the pool and waits for all of them.
+func Run(jobs int, tasks ...func()) {
+	Map(jobs, len(tasks), func(i int) struct{} {
+		tasks[i]()
+		return struct{}{}
+	})
+}
