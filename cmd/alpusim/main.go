@@ -10,14 +10,22 @@
 //	fig5-alpu256   latency surface, NIC + 256-entry ALPU (Fig. 5e/f)
 //	fig6           unexpected-queue latency series, all 3 NICs (Fig. 6)
 //	anchors        the §VI-B/§VI-C text anchors, measured vs published
+//	chaos          the figure workloads over a faulty network: injected
+//	               faults vs the NIC reliability protocol's recovery stats
 //	bench          wall-clock harness: times every figure sweep at -jobs 1
 //	               and -jobs N and writes BENCH.json with the speedups
-//	all            everything above except bench
+//	all            everything above except chaos and bench
 //
 // Flags: -quick shrinks the sweeps (~10x faster), -format csv emits
 // machine-readable series instead of tables, -jobs N fans the independent
 // simulation worlds of each sweep across N workers (results are
 // byte-identical at any setting; -jobs 1 is fully sequential).
+//
+// Fault injection: -faults installs a network fault model for experiments
+// that support one (currently chaos): either one probability for all
+// classes ("0.02") or per-class pairs ("drop=0.01,reorder=0.05"). -seed
+// seeds the injection stream; the same seed reproduces the identical run
+// byte for byte.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"alpusim/internal/alpu"
 	"alpusim/internal/bench"
 	"alpusim/internal/fpga"
+	"alpusim/internal/network"
 	"alpusim/internal/nic"
 	"alpusim/internal/params"
 	"alpusim/internal/stats"
@@ -43,6 +52,8 @@ var (
 	msgSize    = flag.Int("size", 0, "message payload bytes for fig5/fig6")
 	jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation worlds per sweep (1 = sequential)")
 	benchOut   = flag.String("benchout", "BENCH.json", "output path for -experiment bench")
+	faultSpec  = flag.String("faults", "", "fault model: a probability (\"0.02\") or class=prob pairs (\"drop=0.01,dup=0.01,reorder=0.02,corrupt=0.005\")")
+	faultSeed  = flag.Int64("seed", 1, "fault-injection seed (same seed => byte-identical run)")
 )
 
 func main() {
@@ -69,6 +80,8 @@ func main() {
 		gapExp()
 	case "anchors":
 		anchors()
+	case "chaos":
+		chaosExp()
 	case "bench":
 		benchHarness()
 	case "all":
@@ -411,6 +424,31 @@ func benchHarness() {
 	}
 	fmt.Printf("total: seq %.2fs, par %.2fs, %.2fx -> %s\n",
 		rep.TotalSeqSec, rep.TotalParSec, rep.Speedup, *benchOut)
+}
+
+// chaosExp re-runs the figure workloads over a faulty network and reports
+// the reliability protocol's recovery statistics. With -faults the given
+// mix is the whole matrix; otherwise every default mix runs. Output is a
+// pure function of the flags (same -seed => identical bytes).
+func chaosExp() {
+	var mixes []bench.ChaosMix
+	if *faultSpec != "" {
+		fm, err := network.ParseFaults(*faultSpec, *faultSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alpusim: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		mixes = []bench.ChaosMix{{Name: "custom", Faults: *fm}}
+	}
+	for _, kind := range []bench.NICKind{bench.Baseline, bench.ALPU128} {
+		fmt.Printf("Chaos: figure workloads under injected faults — %s NIC, seed %d\n", kind, *faultSeed)
+		results := bench.RunChaos(bench.ChaosConfig{
+			NIC: bench.NICConfig(kind), Seed: *faultSeed,
+			Mixes: mixes, MsgSize: *msgSize, Jobs: *jobs,
+		})
+		bench.RenderChaos(os.Stdout, results)
+		fmt.Println()
+	}
 }
 
 func anchors() {

@@ -5,6 +5,11 @@
 // ALPU does to traversal work and completion time.
 //
 //	queuestudy [-ranks 4,8,16] [-workload all|halo|master|storm|sweep|irregular] [-cells 128] [-jobs N]
+//	           [-faults drop=0.01,corrupt=0.01] [-seed N]
+//
+// With -faults every study runs over a faulty network with the NIC
+// reliability protocol recovering; a second table reports what the
+// recovery cost. The same -seed reproduces the identical run.
 package main
 
 import (
@@ -15,7 +20,9 @@ import (
 	"strconv"
 	"strings"
 
+	"alpusim/internal/network"
 	"alpusim/internal/nic"
+	"alpusim/internal/sim"
 	"alpusim/internal/stats"
 	"alpusim/internal/sweep"
 	"alpusim/internal/workloads"
@@ -26,29 +33,35 @@ var (
 	workload  = flag.String("workload", "all", "halo, master, storm, sweep, irregular, or all")
 	cells     = flag.Int("cells", 128, "ALPU cells for the accelerated runs")
 	jobsFlag  = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation worlds (1 = sequential)")
+	faultSpec = flag.String("faults", "", "fault model: a probability or class=prob pairs (see alpusim -help)")
+	faultSeed = flag.Int64("seed", 1, "fault-injection seed")
 )
+
+// faultyWatchdog bounds each study world when faults are injected; the
+// studies drain in well under a simulated second even while recovering.
+const faultyWatchdog = 500 * sim.Millisecond
 
 type runner struct {
 	name string
-	run  func(cfg nic.Config, ranks int) workloads.Report
+	run  func(cfg nic.Config, ranks int, opts ...workloads.Option) workloads.Report
 }
 
 func runners() []runner {
 	return []runner{
-		{"halo", func(cfg nic.Config, n int) workloads.Report {
-			return workloads.Halo(cfg, n, 10, 1024, 5)
+		{"halo", func(cfg nic.Config, n int, opts ...workloads.Option) workloads.Report {
+			return workloads.Halo(cfg, n, 10, 1024, 5, opts...)
 		}},
-		{"master", func(cfg nic.Config, n int) workloads.Report {
-			return workloads.MasterWorker(cfg, n, 4, 256, 3)
+		{"master", func(cfg nic.Config, n int, opts ...workloads.Option) workloads.Report {
+			return workloads.MasterWorker(cfg, n, 4, 256, 3, opts...)
 		}},
-		{"storm", func(cfg nic.Config, n int) workloads.Report {
-			return workloads.UnexpectedStorm(cfg, n, 30, 64)
+		{"storm", func(cfg nic.Config, n int, opts ...workloads.Option) workloads.Report {
+			return workloads.UnexpectedStorm(cfg, n, 30, 64, opts...)
 		}},
-		{"sweep", func(cfg nic.Config, n int) workloads.Report {
-			return workloads.Sweep(cfg, n, 4, 512)
+		{"sweep", func(cfg nic.Config, n int, opts ...workloads.Option) workloads.Report {
+			return workloads.Sweep(cfg, n, 4, 512, opts...)
 		}},
-		{"irregular", func(cfg nic.Config, n int) workloads.Report {
-			return workloads.Irregular(cfg, n, 4, 3, 128, 7)
+		{"irregular", func(cfg nic.Config, n int, opts ...workloads.Option) workloads.Report {
+			return workloads.Irregular(cfg, n, 4, 3, 128, 7, opts...)
 		}},
 	}
 }
@@ -67,8 +80,21 @@ func main() {
 		}
 		ranks = append(ranks, v)
 	}
+	fm, err := network.ParseFaults(*faultSpec, *faultSeed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "queuestudy: -faults: %v\n", err)
+		os.Exit(1)
+	}
+	var opts []workloads.Option
+	if fm != nil {
+		opts = []workloads.Option{workloads.WithFaults(fm), workloads.WithWatchdog(faultyWatchdog)}
+	}
 
-	fmt.Printf("Application queue study (refs [8]/[9] methodology), ALPU cells=%d\n\n", *cells)
+	fmt.Printf("Application queue study (refs [8]/[9] methodology), ALPU cells=%d\n", *cells)
+	if fm != nil {
+		fmt.Printf("fault injection: %s, seed %d\n", *faultSpec, *faultSeed)
+	}
+	fmt.Println()
 	tb := stats.NewTable("workload", "ranks",
 		"peak posted", "peak unexp", "match depth p50/p99/max",
 		"traversed base", "traversed alpu", "elapsed base", "elapsed alpu", "speedup")
@@ -91,8 +117,8 @@ func main() {
 			r, n := r, n
 			studies = append(studies, study{name: r.name, ranks: n})
 			runs = append(runs,
-				func() workloads.Report { return r.run(nic.Config{}, n) },
-				func() workloads.Report { return r.run(nic.Config{UseALPU: true, Cells: *cells}, n) })
+				func() workloads.Report { return r.run(nic.Config{}, n, opts...) },
+				func() workloads.Report { return r.run(nic.Config{UseALPU: true, Cells: *cells}, n, opts...) })
 		}
 	}
 	reports := sweep.Map(*jobsFlag, len(runs), func(i int) workloads.Report { return runs[i]() })
@@ -114,6 +140,23 @@ func main() {
 	}
 	tb.Render(os.Stdout)
 	fmt.Println()
+	if fm != nil {
+		// The recovery table: what the injected faults cost each study
+		// (base + ALPU runs summed). Completion at all is the correctness
+		// check — every study drains only if every message matched.
+		rt := stats.NewTable("workload", "ranks", "injected", "retransmits", "nacks", "rnr", "recoveries", "errors")
+		for _, s := range studies {
+			rt.AddRow(s.name, s.ranks,
+				s.base.FaultsInjected+s.accel.FaultsInjected,
+				s.base.Retransmits+s.accel.Retransmits,
+				s.base.NacksSent+s.accel.NacksSent,
+				s.base.RNRSent+s.accel.RNRSent,
+				s.base.Recoveries+s.accel.Recoveries,
+				s.base.ProtocolErrors+s.accel.ProtocolErrors)
+		}
+		rt.Render(os.Stdout)
+		fmt.Println()
+	}
 	fmt.Println("Reading the table: queue depth and match depth grow with the process")
 	fmt.Println("count for manager/worker and storm patterns (the paper's motivation);")
 	fmt.Println("the ALPU collapses software traversals and pays off exactly there,")

@@ -444,10 +444,21 @@ func (d *Device) needsCompaction() bool {
 
 // pushResult appends to the result FIFO, stalling (as real hardware would
 // backpressure) while it is full until the processor drains it (§IV-C).
+// While stalled the device is not idle-spinning: compaction steps keep
+// running (one per cycle, as the hardware's register enables would), and
+// only once the array is fully compacted does the device park on the
+// FIFO's not-full edge. ResultStalls counts every stalled device cycle on
+// both paths, so the backpressure is visible in the stats either way.
 func (d *Device) pushResult(p *sim.Process, r Response) {
 	for d.Results.Full() {
-		d.stats.ResultStalls++
-		d.tick(p, 1)
+		if d.needsCompaction() {
+			d.stats.ResultStalls++
+			d.tick(p, 1)
+			continue
+		}
+		start := p.Now()
+		p.WaitCond(d.Results.NotFull, func() bool { return !d.Results.Full() })
+		d.stats.ResultStalls += uint64((p.Now() - start) / d.cfg.Clock.Period)
 	}
 	if !d.Results.Push(r) {
 		panic(fmt.Sprintf("%s: result FIFO rejected push while not full", d.name))

@@ -7,6 +7,7 @@ package bench
 
 import (
 	"alpusim/internal/mpi"
+	"alpusim/internal/network"
 	"alpusim/internal/nic"
 	"alpusim/internal/sim"
 	"alpusim/internal/sweep"
@@ -82,6 +83,12 @@ type PrepostedConfig struct {
 	// is an independent world, so results are identical at any setting).
 	// 0 or 1 runs sequentially; < 0 selects runtime.GOMAXPROCS(0).
 	Jobs int
+
+	// Faults, when non-nil, runs each point's world over a faulty network
+	// (the NIC reliability protocol is forced on); Watchdog bounds the
+	// simulated time of such worlds (0 = none). Used by the chaos harness.
+	Faults   *network.FaultModel
+	Watchdog sim.Time
 }
 
 // jobs maps the config's zero value to the historical sequential run.
@@ -139,15 +146,17 @@ func RunPreposted(cfg PrepostedConfig) []PrepostedPoint {
 	cells := cfg.cells()
 	return sweep.Map(normJobs(cfg.Jobs), len(cells), func(i int) PrepostedPoint {
 		c := cells[i]
+		lat, _ := prepostedPoint(cfg, c.q, c.p)
 		return PrepostedPoint{
 			QueueLen: c.q, Frac: c.f, Traversed: c.p,
-			MsgSize: cfg.MsgSize, Latency: prepostedPoint(cfg, c.q, c.p),
+			MsgSize: cfg.MsgSize, Latency: lat,
 		}
 	})
 }
 
-// prepostedPoint measures one (queue length, traversed) cell.
-func prepostedPoint(cfg PrepostedConfig, q, p int) sim.Time {
+// prepostedPoint measures one (queue length, traversed) cell, returning
+// the drained world for stats extraction (chaos harness).
+func prepostedPoint(cfg PrepostedConfig, q, p int) (sim.Time, *mpi.World) {
 	iters := cfg.iters()
 	sendStart := make([]sim.Time, iters)
 	recvDone := make([]sim.Time, iters)
@@ -188,11 +197,14 @@ func prepostedPoint(cfg PrepostedConfig, q, p int) sim.Time {
 			}
 		},
 	}
-	mpi.RunPrograms(mpi.Config{Ranks: 2, NIC: cfg.NIC}, progs)
+	w := mpi.RunPrograms(mpi.Config{
+		Ranks: 2, NIC: cfg.NIC,
+		Faults: cfg.Faults, WatchdogLimit: cfg.Watchdog,
+	}, progs)
 
 	// Report the final iteration: cache and ALPU state have reached the
 	// steady state the paper's repeated-iteration benchmark measures.
-	return recvDone[iters-1] - sendStart[iters-1]
+	return recvDone[iters-1] - sendStart[iters-1], w
 }
 
 // UnexpectedPoint is one point of the Fig. 6 series.
@@ -210,6 +222,10 @@ type UnexpectedConfig struct {
 	MsgSize   int
 	// Jobs: parallel worlds, as in PrepostedConfig.
 	Jobs int
+
+	// Faults / Watchdog: as in PrepostedConfig (chaos harness).
+	Faults   *network.FaultModel
+	Watchdog sim.Time
 }
 
 // RunUnexpected measures latency — including the time to post the
@@ -218,15 +234,16 @@ type UnexpectedConfig struct {
 func RunUnexpected(cfg UnexpectedConfig) []UnexpectedPoint {
 	return sweep.Map(normJobs(cfg.Jobs), len(cfg.QueueLens), func(i int) UnexpectedPoint {
 		u := cfg.QueueLens[i]
+		lat, _ := unexpectedPoint(cfg, u)
 		return UnexpectedPoint{
 			QueueLen: u,
 			MsgSize:  cfg.MsgSize,
-			Latency:  unexpectedPoint(cfg, u),
+			Latency:  lat,
 		}
 	})
 }
 
-func unexpectedPoint(cfg UnexpectedConfig, u int) sim.Time {
+func unexpectedPoint(cfg UnexpectedConfig, u int) (sim.Time, *mpi.World) {
 	var t0, t1 sim.Time
 
 	progs := []mpi.Program{
@@ -256,6 +273,9 @@ func unexpectedPoint(cfg UnexpectedConfig, u int) sim.Time {
 			t1 = req.DoneAt()
 		},
 	}
-	mpi.RunPrograms(mpi.Config{Ranks: 2, NIC: cfg.NIC}, progs)
-	return t1 - t0
+	w := mpi.RunPrograms(mpi.Config{
+		Ranks: 2, NIC: cfg.NIC,
+		Faults: cfg.Faults, WatchdogLimit: cfg.Watchdog,
+	}, progs)
+	return t1 - t0, w
 }

@@ -9,6 +9,7 @@ package mpi
 
 import (
 	"fmt"
+	"strings"
 
 	"alpusim/internal/host"
 	"alpusim/internal/match"
@@ -42,6 +43,16 @@ type Config struct {
 	// defaults).
 	WireLatency       sim.Time
 	LinkBandwidthBpns int
+
+	// Faults installs a network fault model (nil = the reliable in-order
+	// default). Setting it forces NIC.Reliable on: MPI matching is only
+	// correct over in-order loss-free delivery, which the NIC reliability
+	// protocol restores.
+	Faults *network.FaultModel
+	// WatchdogLimit fails the world (panic with *sim.WatchdogError carrying
+	// a diagnostic dump) if simulated time passes it — the stall detector
+	// for fault mixes that somehow livelock. 0 = no watchdog.
+	WatchdogLimit sim.Time
 }
 
 // World is a built cluster.
@@ -69,6 +80,10 @@ func NewWorld(cfg Config) *World {
 	}
 	eng := sim.NewEngine()
 	net := network.New(eng, cfg.Ranks, cfg.WireLatency, cfg.LinkBandwidthBpns)
+	if cfg.Faults.Active() {
+		net.SetFaults(cfg.Faults)
+		cfg.NIC.Reliable = true
+	}
 	w := &World{
 		Eng:      eng,
 		Net:      net,
@@ -82,6 +97,18 @@ func NewWorld(cfg Config) *World {
 		n := nic.New(eng, nc, net)
 		w.NICs = append(w.NICs, n)
 		w.Hosts = append(w.Hosts, host.New(eng, i, n))
+	}
+	if cfg.WatchdogLimit > 0 {
+		wd := sim.NewWatchdog(eng, cfg.WatchdogLimit, 0)
+		wd.Diag = func() string {
+			var b strings.Builder
+			fmt.Fprintf(&b, "faults: %v injected [%s]", cfg.Faults, net.FaultStats().String())
+			for _, n := range w.NICs {
+				b.WriteString("\n")
+				b.WriteString(n.Diag())
+			}
+			return b.String()
+		}
 	}
 	return w
 }

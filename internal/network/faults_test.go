@@ -1,0 +1,149 @@
+package network
+
+import (
+	"testing"
+
+	"alpusim/internal/match"
+	"alpusim/internal/sim"
+)
+
+// sendN fires n sealed eager packets 0->1 with distinct tags.
+func sendN(net *Network, n int) {
+	for i := 0; i < n; i++ {
+		p := Packet{Kind: Eager, Src: 0, Dst: 1, Hdr: match.Header{Tag: int32(i)}}
+		p.Seal()
+		net.Send(p)
+	}
+}
+
+// TestBoundedRxQDropsWhenUnreliable: a bounded endpoint FIFO with no
+// ingress protocol sheds overflow and counts it — the raw-hardware
+// behaviour the reliability engine exists to prevent.
+func TestBoundedRxQDropsWhenUnreliable(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, 2, 0, 0)
+	ep := net.Endpoint(1)
+	ep.RxQ = sim.NewFIFO[Packet](eng, "bounded", 3)
+	sendN(net, 10) // nobody drains
+	eng.Run()
+	if got := ep.RxQ.Len(); got != 3 {
+		t.Errorf("queued %d packets, want the 3 the FIFO holds", got)
+	}
+	if got := ep.RxQ.Drops(); got != 7 {
+		t.Errorf("FIFO counted %d drops, want 7", got)
+	}
+}
+
+// TestIngressConsumesBeforeQueue: a refusing Ingress hook must consume the
+// packet before the OnDeliver replication and the FIFO see it.
+func TestIngressConsumesBeforeQueue(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, 2, 0, 0)
+	ep := net.Endpoint(1)
+	delivered := 0
+	ep.OnDeliver = func(Packet) { delivered++ }
+	accept := 0
+	ep.Ingress = func(p Packet) bool {
+		accept++
+		return p.Hdr.Tag%2 == 0
+	}
+	sendN(net, 6)
+	eng.Run()
+	if accept != 6 {
+		t.Errorf("ingress saw %d packets, want 6", accept)
+	}
+	if delivered != 3 || ep.RxQ.Len() != 3 {
+		t.Errorf("odd-tag packets leaked past ingress: OnDeliver=%d queued=%d", delivered, ep.RxQ.Len())
+	}
+}
+
+// TestFaultInjectionDeterministic: the same seed over the same transmission
+// sequence must inject the identical fault mix; a different seed must not.
+func TestFaultInjectionDeterministic(t *testing.T) {
+	run := func(seed int64) FaultStats {
+		eng := sim.NewEngine()
+		net := New(eng, 2, 0, 0)
+		net.SetFaults(&FaultModel{Seed: seed, DropProb: 0.1, DupProb: 0.1, ReorderProb: 0.1, CorruptProb: 0.1})
+		sendN(net, 400)
+		eng.Run()
+		return net.FaultStats()
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.Total() == 0 {
+		t.Error("10%% fault rates injected nothing over 400 packets")
+	}
+	if c := run(8); c == a {
+		t.Errorf("different seeds produced identical stats %+v — stream not seeded", c)
+	}
+}
+
+// TestCorruptionAlwaysDetectable: every corrupted delivery must fail the
+// checksum — the fault model flips bits only in checksummed content.
+func TestCorruptionAlwaysDetectable(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, 2, 0, 0)
+	net.SetFaults(&FaultModel{Seed: 3, CorruptProb: 1})
+	sendN(net, 50)
+	eng.Run()
+	ep := net.Endpoint(1)
+	if ep.RxQ.Len() != 50 {
+		t.Fatalf("delivered %d packets, want 50", ep.RxQ.Len())
+	}
+	for {
+		pkt, ok := ep.RxQ.Pop()
+		if !ok {
+			break
+		}
+		if pkt.ChecksumOK() {
+			t.Fatalf("corrupted packet passed its checksum: %+v", pkt)
+		}
+	}
+	if got := net.FaultStats().Corrupted; got != 50 {
+		t.Errorf("Corrupted=%d, want 50", got)
+	}
+}
+
+// TestDropAndDupExtremes: probability-1 drop delivers nothing;
+// probability-1 duplication delivers everything twice.
+func TestDropAndDupExtremes(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, 2, 0, 0)
+	net.SetFaults(&FaultModel{Seed: 1, DropProb: 1})
+	sendN(net, 20)
+	eng.Run()
+	if got := net.Endpoint(1).RxQ.Len(); got != 0 {
+		t.Errorf("drop=1 still delivered %d packets", got)
+	}
+
+	eng = sim.NewEngine()
+	net = New(eng, 2, 0, 0)
+	net.SetFaults(&FaultModel{Seed: 1, DupProb: 1})
+	sendN(net, 20)
+	eng.Run()
+	if got := net.Endpoint(1).RxQ.Len(); got != 40 {
+		t.Errorf("dup=1 delivered %d packets, want 40", got)
+	}
+}
+
+// TestParseFaults covers the -faults flag grammar.
+func TestParseFaults(t *testing.T) {
+	if fm, err := ParseFaults("", 1); err != nil || fm != nil {
+		t.Errorf("empty spec: %v, %v", fm, err)
+	}
+	fm, err := ParseFaults("0.02", 9)
+	if err != nil || fm.DropProb != 0.02 || fm.CorruptProb != 0.02 || fm.Seed != 9 {
+		t.Errorf("uniform spec: %+v, %v", fm, err)
+	}
+	fm, err = ParseFaults("drop=0.01,reorder=0.05", 2)
+	if err != nil || fm.DropProb != 0.01 || fm.ReorderProb != 0.05 || fm.DupProb != 0 {
+		t.Errorf("pair spec: %+v, %v", fm, err)
+	}
+	for _, bad := range []string{"x", "drop=2", "mangle=0.1", "drop"} {
+		if _, err := ParseFaults(bad, 0); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}

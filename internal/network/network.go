@@ -25,6 +25,15 @@ const (
 	CTS
 	// Data is the rendezvous payload.
 	Data
+	// Ack is a reliability-protocol cumulative acknowledgement: RelSeq is
+	// the highest in-order sequence number received from Dst's peer state.
+	Ack
+	// Nack is a go-back-N retransmit request: RelSeq is the next sequence
+	// number the receiver expects (everything from it was discarded).
+	Nack
+	// RNR (receiver not ready) is a flow-control Nack: the receiver had no
+	// queue space for RelSeq; the sender must back off before resending.
+	RNR
 )
 
 func (k PacketKind) String() string {
@@ -37,6 +46,12 @@ func (k PacketKind) String() string {
 		return "CTS"
 	case Data:
 		return "DATA"
+	case Ack:
+		return "ACK"
+	case Nack:
+		return "NACK"
+	case RNR:
+		return "RNR"
 	default:
 		return fmt.Sprintf("PacketKind(%d)", int(k))
 	}
@@ -56,7 +71,43 @@ type Packet struct {
 	SenderReq uint64
 	RecvReq   uint64
 	Seq       uint64
+
+	// Reliability-protocol fields (internal/nic). RelSeq is the per
+	// (src, dst) link sequence number (1-based; 0 = protocol disabled for
+	// this packet). Csum covers every protocol-visible field; the network
+	// fault model corrupts only checksummed content, so a checksum match
+	// certifies the packet.
+	RelSeq uint64
+	Csum   uint32
 }
+
+// Checksum computes the header checksum over the protocol-visible fields.
+// The per-delivery Seq and the Csum field itself are excluded. The mix is
+// an FNV-1a-style fold, strong enough that the fault model's single-bit
+// flips always miss it.
+func (p *Packet) Checksum() uint32 {
+	h := uint64(0xcbf29ce484222325)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 0x100000001b3
+		}
+	}
+	mix(uint64(p.Kind))
+	mix(uint64(p.Src)<<32 | uint64(uint32(p.Dst)))
+	mix(uint64(p.Hdr.Context)<<48 | uint64(uint32(p.Hdr.Source))<<16 | uint64(uint16(p.Hdr.Tag)))
+	mix(uint64(int64(p.Size)))
+	mix(p.SenderReq)
+	mix(p.RecvReq)
+	mix(p.RelSeq)
+	return uint32(h) ^ uint32(h>>32)
+}
+
+// Seal stamps the packet's checksum in place (Csum is not self-covered).
+func (p *Packet) Seal() { p.Csum = p.Checksum() }
+
+// ChecksumOK verifies a sealed packet.
+func (p *Packet) ChecksumOK() bool { return p.Csum == p.Checksum() }
 
 // Endpoint is one node's attachment point.
 type Endpoint struct {
@@ -74,6 +125,28 @@ type Endpoint struct {
 	// queued — the hardware path that replicates headers into the ALPU
 	// header FIFO (Fig. 1).
 	OnDeliver func(Packet)
+	// Ingress, when set, intercepts every arriving packet before OnDeliver
+	// and the RxQ. Returning false consumes the packet (discarded
+	// duplicate, failed checksum, protocol control traffic, refused
+	// admission) — the NIC reliability engine hangs here.
+	Ingress func(Packet) bool
+}
+
+// deliverNow runs one packet through the endpoint's receive path: the
+// optional reliability ingress, the optional hardware header replication,
+// then the Rx FIFO. A bounded RxQ that is full drops the packet (counted
+// by the FIFO); reliable NICs refuse admission in Ingress instead, so the
+// drop path is only reachable on raw unreliable endpoints.
+func (ep *Endpoint) deliverNow(p Packet) {
+	if ep.Ingress != nil && !ep.Ingress(p) {
+		return
+	}
+	if ep.OnDeliver != nil {
+		ep.OnDeliver(p)
+	}
+	if ep.RxQ.Push(p) {
+		ep.Arrived.Raise()
+	}
 }
 
 // Network connects a fixed set of endpoints.
@@ -83,6 +156,11 @@ type Network struct {
 	bwBpns    int
 	endpoints []*Endpoint
 	seq       uint64
+
+	// Fault injection (nil/zero = the reliable in-order default).
+	faults *FaultModel
+	frng   *frand
+	fstats FaultStats
 }
 
 // New builds a network of n endpoints with the calibrated wire latency and
@@ -111,6 +189,10 @@ func (n *Network) Endpoint(i int) *Endpoint { return n.endpoints[i] }
 // Size returns the number of endpoints.
 func (n *Network) Size() int { return len(n.endpoints) }
 
+// Wire returns the configured wire latency (the NIC reliability protocol
+// derives its initial retransmit timeout from it).
+func (n *Network) Wire() sim.Time { return n.wire }
+
 // Send transmits pkt from its Src endpoint at the current time. The
 // source link serialises transmissions; the packet arrives at Dst after
 // the transmit time plus the wire latency.
@@ -132,13 +214,11 @@ func (n *Network) Send(pkt Packet) {
 
 	deliver := src.txBusyUntil + n.wire - now
 	p := pkt
-	n.eng.Schedule(deliver, func() {
-		if dst.OnDeliver != nil {
-			dst.OnDeliver(p)
-		}
-		dst.RxQ.Push(p)
-		dst.Arrived.Raise()
-	})
+	if n.faults.Active() {
+		n.inject(p, dst, deliver)
+		return
+	}
+	n.eng.Schedule(deliver, func() { dst.deliverNow(p) })
 }
 
 // TxPackets reports packets transmitted by endpoint i.

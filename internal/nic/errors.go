@@ -1,0 +1,19 @@
+package nic
+
+import "fmt"
+
+// ProtocolError is a recoverable protocol-level fault observed by the
+// firmware: a condition a robust NIC must tolerate (stale control traffic
+// after a retransmission, a diverged hardware/software mirror) rather
+// than a programming error. Recoverable faults are counted per NIC
+// (NIC.Errors) and the firmware continues; violations of true internal
+// invariants still panic.
+type ProtocolError struct {
+	NIC    int    // NIC id that observed the fault
+	Op     string // counter key, e.g. "cts-unknown-send"
+	Detail string
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("nic%d: %s: %s", e.NIC, e.Op, e.Detail)
+}

@@ -42,6 +42,12 @@ func (n *NIC) handlePacket(e *proc.Engine, pkt network.Packet) {
 	n.stats.PacketsHandled++
 	switch pkt.Kind {
 	case network.Eager, network.RTS:
+		if n.admittedHdrs > 0 {
+			// This header no longer counts against the reliability engine's
+			// unexpected-queue admission bound: from here it either matches
+			// or joins the queue itself.
+			n.admittedHdrs--
+		}
 		e.Cycles(params.HeaderProcessCycles)
 		entry := n.matchPosted(e, pkt)
 		if entry != nil {
@@ -58,7 +64,12 @@ func (n *NIC) handlePacket(e *proc.Engine, pkt network.Packet) {
 		e.Cycles(params.HeaderProcessCycles)
 		s := n.pendingSends[pkt.SenderReq]
 		if s == nil {
-			panic(fmt.Sprintf("nic%d: CTS for unknown send %d", n.cfg.ID, pkt.SenderReq))
+			// A CTS for a send we no longer (or never) track: stale control
+			// traffic, e.g. after a peer recovered through retransmission.
+			// Recoverable — count it and drop the packet.
+			n.noteError(&ProtocolError{NIC: n.cfg.ID, Op: "cts-unknown-send",
+				Detail: fmt.Sprintf("CTS for unknown send %d from nic%d", pkt.SenderReq, pkt.Src)})
+			return
 		}
 		delete(n.pendingSends, pkt.SenderReq)
 		done := n.dmaTx.Transfer(e.Now(), s.req.Size)
@@ -66,7 +77,7 @@ func (n *NIC) handlePacket(e *proc.Engine, pkt network.Packet) {
 			Kind: network.Data, Src: n.cfg.ID, Dst: pkt.Src,
 			Size: s.req.Size, RecvReq: pkt.RecvReq,
 		}
-		n.eng.At(done, func() { n.net.Send(data) })
+		n.eng.At(done, func() { n.send(data) })
 		e.Cycles(params.CompletionCycles)
 		n.complete(s.req.ID, done, CompletionStatus{})
 
@@ -92,7 +103,7 @@ func (n *NIC) deliverMatched(e *proc.Engine, pkt network.Packet, pr *postedRecv)
 	}
 	e.Cycles(params.CompletionCycles)
 	n.rndvStatus[pr.req.ID] = statusOf(pkt.Hdr, pkt.Size)
-	n.net.Send(network.Packet{
+	n.send(network.Packet{
 		Kind: network.CTS, Src: n.cfg.ID, Dst: pkt.Src,
 		SenderReq: pkt.SenderReq, RecvReq: pr.req.ID,
 	})
@@ -122,7 +133,7 @@ func (n *NIC) handleHostReq(e *proc.Engine, req HostRequest) {
 				Kind: network.Eager, Src: n.cfg.ID, Dst: req.Dst,
 				Hdr: req.Hdr, Size: req.Size,
 			}
-			n.eng.At(done, func() { n.net.Send(pkt) })
+			n.eng.At(done, func() { n.send(pkt) })
 			e.Cycles(params.CompletionCycles)
 			// An eager send completes locally once the data has left the
 			// host buffer.
@@ -130,7 +141,7 @@ func (n *NIC) handleHostReq(e *proc.Engine, req HostRequest) {
 			return
 		}
 		n.pendingSends[req.ID] = &sendState{req: req}
-		n.net.Send(network.Packet{
+		n.send(network.Packet{
 			Kind: network.RTS, Src: n.cfg.ID, Dst: req.Dst,
 			Hdr: req.Hdr, Size: req.Size, SenderReq: req.ID,
 		})
@@ -172,7 +183,7 @@ func (n *NIC) handleHostReq(e *proc.Engine, req HostRequest) {
 		}
 		e.Cycles(params.CompletionCycles)
 		n.rndvStatus[req.ID] = statusOf(um.pkt.Hdr, um.pkt.Size)
-		n.net.Send(network.Packet{
+		n.send(network.Packet{
 			Kind: network.CTS, Src: n.cfg.ID, Dst: um.pkt.Src,
 			SenderReq: um.pkt.SenderReq, RecvReq: req.ID,
 		})
@@ -195,7 +206,7 @@ func (n *NIC) matchPosted(e *proc.Engine, pkt network.Packet) *match.Entry {
 		r, from := n.resultFor(e, &n.posted, pkt.Seq)
 		if r.Kind == alpu.RespMatchSuccess {
 			n.stats.ALPUPostedHits++
-			return n.consumeALPUMatch(e, &n.posted, r.Tag)
+			return n.consumeALPUMatch(e, &n.posted, r.Tag, probe, match.FullMask)
 		}
 		n.stats.ALPUPostedMisses++
 		// §IV-D: on MATCH FAILURE, search only the portion of the list
@@ -222,7 +233,7 @@ func (n *NIC) matchUnexpected(e *proc.Engine, req HostRequest) *match.Entry {
 		r, from := n.resultFor(e, &n.unexp, req.ID)
 		if r.Kind == alpu.RespMatchSuccess {
 			n.stats.ALPUUnexpHits++
-			return n.consumeALPUMatch(e, &n.unexp, r.Tag)
+			return n.consumeALPUMatch(e, &n.unexp, r.Tag, b, m)
 		}
 		n.stats.ALPUUnexpMisses++
 		return n.fallbackSearch(e, &n.unexp, alpu.Probe{Bits: b, Mask: m, Meta: req.ID}, b, m, from)
@@ -235,10 +246,29 @@ func (n *NIC) matchUnexpected(e *proc.Engine, req HostRequest) *match.Entry {
 
 // consumeALPUMatch resolves an ALPU MATCH SUCCESS tag to the shadow-list
 // entry (§IV-B: the tag points into the processor's copy) and unlinks it.
-func (n *NIC) consumeALPUMatch(e *proc.Engine, q *mirrorQueue, tag uint32) *match.Entry {
+// An unknown tag means the hardware/software mirror diverged; that is
+// recoverable — the match is resolved in software over the full list —
+// so it is counted rather than fatal. bits/mask are the original probe,
+// needed for that software resolution.
+func (n *NIC) consumeALPUMatch(e *proc.Engine, q *mirrorQueue, tag uint32, bits, mask match.Bits) *match.Entry {
 	entry := q.tags[tag]
 	if entry == nil {
-		panic(fmt.Sprintf("nic%d: %s ALPU returned unknown tag %d", n.cfg.ID, q.name, tag))
+		n.noteError(&ProtocolError{NIC: n.cfg.ID, Op: "alpu-unknown-tag",
+			Detail: fmt.Sprintf("%s ALPU returned unknown tag %d", q.name, tag)})
+		idx := n.searchList(e, q, bits, mask, 0)
+		if idx < 0 {
+			return nil
+		}
+		q.depths.Add(idx)
+		entry = q.list.At(idx)
+		if idx < q.inALPU {
+			// The entry was inside the mirrored prefix; keep the pointer
+			// consistent with the unit having consumed its copy.
+			q.inALPU--
+		}
+		e.Cycles(8)
+		q.list.RemoveAt(idx)
+		return entry
 	}
 	delete(q.tags, tag)
 	// Fetch the entry directly by pointer — no traversal (§VI-B: "the

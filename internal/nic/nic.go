@@ -26,6 +26,7 @@ import (
 	"alpusim/internal/network"
 	"alpusim/internal/params"
 	"alpusim/internal/sim"
+	"alpusim/internal/stats"
 	"alpusim/internal/trace"
 )
 
@@ -86,6 +87,27 @@ type Config struct {
 	// PPC440-class profile). params.ElanNIC() reproduces the §VI-B
 	// Quadrics comparison point.
 	CPUProfile *params.CPU
+
+	// Reliable enables the link reliability engine (reliability.go): the
+	// go-back-N protocol that restores the in-order, loss-free delivery
+	// the matching queues assume when the network runs a fault model. The
+	// MPI layer forces it on whenever faults are configured.
+	Reliable bool
+	// RelWindow is the go-back-N window: unacknowledged packets allowed in
+	// flight per peer (0 = 64).
+	RelWindow int
+	// RelTimeout is the initial retransmit timeout (0 = derived from the
+	// network's wire latency).
+	RelTimeout sim.Time
+	// MaxUnexpected bounds the unexpected queue under the reliability
+	// protocol: an in-order EAGER/RTS that would grow it past the bound is
+	// refused with a receiver-not-ready NACK instead of growing the queue
+	// without limit (0 = unbounded).
+	MaxUnexpected int
+	// RxQDepth bounds the endpoint's Rx FIFO (0 = unbounded). A reliable
+	// NIC refuses admission with RNR when it is full; a raw NIC drops the
+	// packet (counted by the FIFO).
+	RxQDepth int
 }
 
 // Stats aggregates firmware activity for the benchmark reports.
@@ -191,6 +213,18 @@ type NIC struct {
 	rndvStatus map[uint64]CompletionStatus
 
 	stats Stats
+
+	// Reliability-engine state (reliability.go).
+	relPeers     []*relPeer
+	rel          RelStats
+	rtoInit      sim.Time
+	rtoMax       sim.Time
+	admittedHdrs int // EAGER/RTS headers admitted but not yet processed
+
+	// Recoverable protocol errors (errors.go): counted per operation
+	// instead of panicking, with the most recent kept for diagnostics.
+	errs    stats.Counters
+	lastErr error
 }
 
 // addrAlloc is a bump allocator with LIFO reuse, approximating the
@@ -242,6 +276,12 @@ func New(eng *sim.Engine, cfg Config, net *network.Network) *NIC {
 		rndvStatus:   make(map[uint64]CompletionStatus),
 		entryAlloc:   addrAlloc{next: 0x1_0000, size: params.QueueEntryFullBytes},
 	}
+	if cfg.RxQDepth > 0 {
+		// Replace the endpoint's unbounded Rx FIFO with a bounded one: real
+		// NIC receive buffers are finite, and the reliability engine's
+		// admission control needs a full condition to push back against.
+		n.ep.RxQ = sim.NewFIFO[network.Packet](eng, fmt.Sprintf("net%d.rx", cfg.ID), cfg.RxQDepth)
+	}
 	n.posted = newMirrorQueue("posted", cfg)
 	n.unexp = newMirrorQueue("unexp", cfg)
 	if cfg.UseALPU {
@@ -258,6 +298,9 @@ func New(eng *sim.Engine, cfg Config, net *network.Network) *NIC {
 			n.posted.dev.PushProbe(alpu.Probe{Bits: match.Pack(pkt.Hdr), Meta: pkt.Seq})
 			n.posted.probed[pkt.Seq] = true
 		}
+	}
+	if cfg.Reliable {
+		n.relInit()
 	}
 	eng.Spawn(fmt.Sprintf("nic%d.fw", cfg.ID), n.firmware)
 	return n
@@ -293,6 +336,21 @@ func (n *NIC) Config() Config { return n.cfg }
 // Stats returns a snapshot of the firmware counters.
 func (n *NIC) Stats() Stats { return n.stats }
 
+// Errors returns the per-NIC recoverable protocol-error counters, keyed
+// by operation ("cts-unknown-send", "alpu-unknown-tag", ...).
+func (n *NIC) Errors() *stats.Counters { return &n.errs }
+
+// LastError returns the most recent recoverable protocol error, or nil.
+func (n *NIC) LastError() error { return n.lastErr }
+
+// noteError records a recoverable protocol error: counted, retained for
+// diagnostics, and the firmware carries on (true invariant violations
+// still panic).
+func (n *NIC) noteError(err *ProtocolError) {
+	n.errs.Add(err.Op, 1)
+	n.lastErr = err
+}
+
 // PostedDepths returns the posted-receive match-depth histogram (how many
 // entries sat ahead of each match — the refs [8]/[9] metric).
 func (n *NIC) PostedDepths() *trace.Histogram { return &n.posted.depths }
@@ -308,6 +366,11 @@ func (n *NIC) PeakUnexpLen() int { return n.unexp.peakLen }
 
 // Mem exposes the NIC memory hierarchy (tests and reports).
 func (n *NIC) Mem() *memsys.Hierarchy { return n.mem }
+
+// RxDrops reports packets lost to a full (bounded) Rx FIFO. A reliable
+// NIC refuses admission before the FIFO overflows, so this stays zero
+// there; raw bounded endpoints count their losses here.
+func (n *NIC) RxDrops() uint64 { return n.ep.RxQ.Drops() }
 
 // PostedALPU returns the posted-receive unit, or nil.
 func (n *NIC) PostedALPU() *alpu.Device { return n.posted.dev }

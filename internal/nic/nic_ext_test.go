@@ -1,11 +1,14 @@
 package nic_test
 
 import (
+	"errors"
 	"testing"
 
 	"alpusim/internal/alpu"
 	"alpusim/internal/mpi"
+	"alpusim/internal/network"
 	"alpusim/internal/nic"
+	"alpusim/internal/sim"
 )
 
 // buildQueue pre-posts q receives on rank 1 and then matches one probe.
@@ -264,5 +267,107 @@ func TestStatsAccounting(t *testing.T) {
 	}
 	if st.Completions == 0 {
 		t.Error("no completions recorded")
+	}
+}
+
+// TestFallbackSearchPrefixFull pins the prefix-full overflow path: when
+// the ALPU holds exactly Cells entries, updateALPU must stop feeding it
+// (the inALPU >= cells guard) and every match landing past the prefix must
+// resolve through fallbackSearch over the software suffix only.
+func TestFallbackSearchPrefixFull(t *testing.T) {
+	const cells, posted, hits = 16, 40, 4
+	cfg := nic.Config{UseALPU: true, Cells: cells}
+	w := mpi.RunPrograms(mpi.Config{Ranks: 2, NIC: cfg}, []mpi.Program{
+		func(r *mpi.Rank) {
+			r.Barrier()
+			// Match from the far end of the overflow region inward; each
+			// probe misses the full 16-cell prefix and resolves in software.
+			for k := 0; k < hits; k++ {
+				r.Send(1, 0x100+(posted-1-k), 0)
+				r.Recv(1, 0x200+k, 0)
+			}
+		},
+		func(r *mpi.Rank) {
+			reqs := make([]*mpi.Request, posted)
+			for i := 0; i < posted; i++ {
+				reqs[i] = r.Irecv(0, 0x100+i, 0)
+			}
+			r.Barrier()
+			for k := 0; k < hits; k++ {
+				r.Wait(reqs[posted-1-k])
+				r.Send(0, 0x200+k, 0)
+			}
+		},
+	})
+	st := w.NICs[1].Stats()
+	if st.ALPUPostedMisses < hits {
+		t.Errorf("ALPUPostedMisses = %d, want >= %d (every probe lands past the prefix)",
+			st.ALPUPostedMisses, hits)
+	}
+	dev := w.NICs[1].PostedALPU()
+	if dev.Stats().MaxOccupancy > cells {
+		t.Errorf("ALPU occupancy exceeded its %d cells: %d", cells, dev.Stats().MaxOccupancy)
+	}
+	if w.NICs[1].PostedLen() != posted-hits {
+		t.Errorf("posted queue length = %d, want %d", w.NICs[1].PostedLen(), posted-hits)
+	}
+	if errs := w.NICs[1].Errors().Total(); errs != 0 {
+		t.Errorf("recoverable errors recorded on a clean run: %v", w.NICs[1].Errors())
+	}
+}
+
+// TestBoundedRxQReliableRecovers: with a tiny Rx FIFO and the reliability
+// engine on, a traffic burst must survive via RNR flow control — nothing
+// may be silently dropped by the FIFO, and all messages must complete.
+func TestBoundedRxQReliableRecovers(t *testing.T) {
+	const msgs = 16
+	cfg := mpi.Config{Ranks: 2, NIC: nic.Config{Reliable: true, RxQDepth: 2}}
+	w := mpi.RunPrograms(cfg, []mpi.Program{
+		func(r *mpi.Rank) {
+			reqs := make([]*mpi.Request, msgs)
+			for i := 0; i < msgs; i++ {
+				reqs[i] = r.Isend(1, i, 256)
+			}
+			r.Waitall(reqs...)
+		},
+		func(r *mpi.Rank) {
+			reqs := make([]*mpi.Request, msgs)
+			for i := 0; i < msgs; i++ {
+				reqs[i] = r.Irecv(0, i, 256)
+			}
+			for i, req := range reqs {
+				r.Wait(req)
+				if st := req.Status(); st.Tag != i {
+					t.Errorf("recv %d matched tag %d", i, st.Tag)
+				}
+			}
+		},
+	})
+	for i, n := range w.NICs {
+		if d := n.RxDrops(); d != 0 {
+			t.Errorf("nic%d: reliable endpoint dropped %d packets in the Rx FIFO", i, d)
+		}
+		if p := n.RelPending(); p != 0 {
+			t.Errorf("nic%d: %d packets unacked after drain", i, p)
+		}
+	}
+}
+
+// TestStaleCTSCountedNotFatal: a CTS naming a send the NIC does not track
+// (stale control traffic) must be counted as a recoverable protocol error
+// and dropped — the firmware used to panic here.
+func TestStaleCTSCountedNotFatal(t *testing.T) {
+	eng := sim.NewEngine()
+	net := network.New(eng, 2, 0, 0)
+	n := nic.New(eng, nic.Config{ID: 1}, net)
+	net.Send(network.Packet{Kind: network.CTS, Src: 0, Dst: 1, SenderReq: 42})
+	eng.Run()
+	if got := n.Errors().Get("cts-unknown-send"); got != 1 {
+		t.Errorf("cts-unknown-send counter = %d, want 1 (errors: %v)", got, n.Errors())
+	}
+	err := n.LastError()
+	var perr *nic.ProtocolError
+	if !errors.As(err, &perr) || perr.Op != "cts-unknown-send" || perr.NIC != 1 {
+		t.Errorf("LastError = %v, want a cts-unknown-send ProtocolError for nic1", err)
 	}
 }

@@ -1,0 +1,375 @@
+package nic
+
+import (
+	"fmt"
+
+	"alpusim/internal/network"
+	"alpusim/internal/sim"
+)
+
+// This file is the NIC's link reliability engine: a go-back-N protocol
+// that restores the in-order, loss-free delivery MPI matching rests on
+// (§II ordering guarantee) when the network runs a fault model. It is
+// modelled as NIC hardware beside the DMA engines — real RDMA NICs carry
+// exactly such an ACK/retransmit engine — so its work happens at packet
+// delivery time and on simulator timers, not on the firmware processor.
+//
+// Protocol summary:
+//
+//   - every data-plane packet (EAGER, RTS, CTS, DATA) carries a per
+//     (src, dst) link sequence number RelSeq (1-based) and a header
+//     checksum;
+//   - the receiver accepts only the next in-order sequence, cumulatively
+//     ACKs it, discards duplicates (re-ACKing) and corrupt packets, and
+//     answers a sequence gap with a NACK naming the expected sequence
+//     (go-back-N: everything past the gap was discarded);
+//   - admission control: an in-order packet that would overflow the Rx
+//     FIFO — or an EAGER/RTS that would overflow a bounded unexpected
+//     queue — is refused with an RNR (receiver-not-ready) NACK instead of
+//     being dropped on the floor or growing the queue without bound;
+//   - the sender keeps a bounded window of unacknowledged packets,
+//     retransmits from the NACKed sequence on NACK, backs off before
+//     resuming on RNR, and retransmits the whole window on timeout with
+//     exponential backoff (reset on forward progress).
+//
+// ACK/NACK/RNR control packets are themselves unsequenced and may be
+// lost or corrupted; the timeout path recovers. The protocol never
+// delivers a corrupt, duplicate, or out-of-order packet to the firmware,
+// so the matching queues observe exactly the traffic a reliable network
+// would have produced.
+
+// RelStats counts reliability-engine activity for the chaos reports.
+type RelStats struct {
+	DataSent    uint64 // data-plane packets given a sequence number
+	Retransmits uint64 // data-plane packets sent again
+	Timeouts    uint64 // retransmit timer expiries
+	AcksSent    uint64
+	NacksSent   uint64 // gap NACKs sent
+	RNRSent     uint64 // flow-control NACKs sent (admission refused)
+	AcksRecv    uint64
+	NacksRecv   uint64
+	RNRRecv     uint64
+	CsumDrops   uint64 // packets discarded on checksum mismatch
+	DupDrops    uint64 // duplicate sequence numbers discarded
+	GapDrops    uint64 // out-of-order packets discarded (go-back-N)
+	Recoveries  uint64 // in-order resumptions after a discard episode
+}
+
+// relPeer is the per-remote-NIC protocol state, split into the transmit
+// window and the receive cursor.
+type relPeer struct {
+	id int // remote NIC id
+
+	// Transmit side.
+	nextSeq  uint64           // next RelSeq to assign (1-based)
+	unacked  []network.Packet // sent, not yet cumulatively ACKed (seq order)
+	sendQ    []network.Packet // sequenced, waiting for window space
+	rto      sim.Time         // current retransmit timeout (exponential)
+	timer    sim.EventID
+	armed    bool
+	paused   bool     // RNR backoff in progress; timer is the resume event
+	lastNack uint64   // last go-back seq honoured (NACK storm suppression)
+	lastAt   sim.Time // when it was honoured
+
+	// Receive side.
+	expected  uint64 // next RelSeq accepted from this peer
+	nackedFor uint64 // gap NACK suppression: expected value already NACKed
+	stalled   bool   // a discard episode is open (for Recoveries)
+}
+
+// relInit sizes the reliability state; called from New when enabled.
+func (n *NIC) relInit() {
+	n.relPeers = make([]*relPeer, n.net.Size())
+	n.rtoInit = n.cfg.RelTimeout
+	if n.rtoInit <= 0 {
+		// Initial RTO: a round trip (two wire crossings) plus generous
+		// slack for transmit serialisation and firmware turnaround.
+		n.rtoInit = 4*n.net.Wire() + 8*sim.Microsecond
+	}
+	n.rtoMax = 64 * n.rtoInit
+	if n.cfg.RelWindow <= 0 {
+		n.cfg.RelWindow = 64
+	}
+	n.ep.Ingress = n.relIngress
+}
+
+// peer returns (allocating) the protocol state for remote NIC id.
+func (n *NIC) peer(id int) *relPeer {
+	pr := n.relPeers[id]
+	if pr == nil {
+		pr = &relPeer{id: id, nextSeq: 1, expected: 1, rto: n.rtoInit}
+		n.relPeers[id] = pr
+	}
+	return pr
+}
+
+// send is the firmware's transmit entry point for data-plane packets.
+// Without the reliability engine it is a straight network send (the
+// paper's reliable in-order world); with it, the packet is sequenced,
+// checksummed, and window-controlled.
+func (n *NIC) send(pkt network.Packet) {
+	if !n.cfg.Reliable {
+		n.net.Send(pkt)
+		return
+	}
+	pr := n.peer(pkt.Dst)
+	pkt.RelSeq = pr.nextSeq
+	pr.nextSeq++
+	pkt.Seal()
+	n.rel.DataSent++
+	if len(pr.unacked) >= n.cfg.RelWindow {
+		pr.sendQ = append(pr.sendQ, pkt)
+		return
+	}
+	n.txData(pr, pkt)
+}
+
+// txData admits one sequenced packet to the window and puts it on the wire.
+func (n *NIC) txData(pr *relPeer, pkt network.Packet) {
+	pr.unacked = append(pr.unacked, pkt)
+	n.net.Send(pkt)
+	if !pr.armed && !pr.paused {
+		n.armTimer(pr, pr.rto, func() { n.relTimeout(pr) })
+	}
+}
+
+// sendCtl emits an unsequenced, checksummed control packet.
+func (n *NIC) sendCtl(kind network.PacketKind, dst int, seq uint64) {
+	pkt := network.Packet{Kind: kind, Src: n.cfg.ID, Dst: dst, RelSeq: seq}
+	pkt.Seal()
+	n.net.Send(pkt)
+}
+
+// armTimer (re)arms the peer's single timer slot.
+func (n *NIC) armTimer(pr *relPeer, d sim.Time, fn func()) {
+	if pr.armed {
+		n.eng.Cancel(pr.timer)
+	}
+	pr.armed = true
+	pr.timer = n.eng.ScheduleCancellable(d, func() {
+		pr.armed = false
+		fn()
+	})
+}
+
+func (n *NIC) disarmTimer(pr *relPeer) {
+	if pr.armed {
+		n.eng.Cancel(pr.timer)
+		pr.armed = false
+	}
+}
+
+// relTimeout is the go-back-N timeout: resend the full window with
+// exponential backoff. The timer stays armed while anything is unacked.
+func (n *NIC) relTimeout(pr *relPeer) {
+	if len(pr.unacked) == 0 {
+		return
+	}
+	n.rel.Timeouts++
+	pr.rto *= 2
+	if pr.rto > n.rtoMax {
+		pr.rto = n.rtoMax
+	}
+	for _, pkt := range pr.unacked {
+		n.rel.Retransmits++
+		n.net.Send(pkt)
+	}
+	n.armTimer(pr, pr.rto, func() { n.relTimeout(pr) })
+}
+
+// relIngress is the endpoint delivery hook: every arriving packet passes
+// through here before the ALPU header replication and the Rx FIFO.
+// Returning true hands the packet to the normal receive path.
+func (n *NIC) relIngress(pkt network.Packet) bool {
+	if !pkt.ChecksumOK() {
+		n.rel.CsumDrops++
+		if pkt.Kind != network.Ack && pkt.Kind != network.Nack && pkt.Kind != network.RNR {
+			n.peer(pkt.Src).stalled = true
+		}
+		return false
+	}
+	switch pkt.Kind {
+	case network.Ack:
+		n.rel.AcksRecv++
+		n.handleAck(n.peer(pkt.Src), pkt.RelSeq)
+		return false
+	case network.Nack:
+		n.rel.NacksRecv++
+		n.handleNack(n.peer(pkt.Src), pkt.RelSeq)
+		return false
+	case network.RNR:
+		n.rel.RNRRecv++
+		n.handleRNR(n.peer(pkt.Src), pkt.RelSeq)
+		return false
+	}
+
+	pr := n.peer(pkt.Src)
+	switch {
+	case pkt.RelSeq < pr.expected:
+		// Duplicate (retransmit raced the ACK, or the network duplicated
+		// it): discard and re-ACK so the sender's window advances.
+		n.rel.DupDrops++
+		n.sendAckNow(pr)
+		return false
+	case pkt.RelSeq > pr.expected:
+		// Sequence gap: go-back-N discards everything past the gap and
+		// asks for the expected packet, once per gap episode.
+		n.rel.GapDrops++
+		pr.stalled = true
+		if pr.nackedFor != pr.expected {
+			pr.nackedFor = pr.expected
+			n.rel.NacksSent++
+			n.sendCtl(network.Nack, pr.id, pr.expected)
+		}
+		return false
+	}
+
+	// In-order: admission control before the sequence advances, so a
+	// refused packet is simply retransmitted later.
+	if n.refuseAdmission(pkt) {
+		n.rel.RNRSent++
+		pr.stalled = true
+		n.sendCtl(network.RNR, pr.id, pkt.RelSeq)
+		return false
+	}
+
+	pr.expected++
+	pr.nackedFor = 0
+	if pr.stalled {
+		pr.stalled = false
+		n.rel.Recoveries++
+	}
+	if pkt.Kind == network.Eager || pkt.Kind == network.RTS {
+		n.admittedHdrs++
+	}
+	n.sendAckNow(pr)
+	return true
+}
+
+// refuseAdmission reports whether an in-order packet must be RNR-refused:
+// the Rx FIFO has no room, or it is a matchable header (EAGER/RTS) and the
+// bounded unexpected queue — plus headers already admitted but not yet
+// processed by the firmware — is at its limit.
+func (n *NIC) refuseAdmission(pkt network.Packet) bool {
+	if n.ep.RxQ.Full() {
+		return true
+	}
+	if n.cfg.MaxUnexpected > 0 && (pkt.Kind == network.Eager || pkt.Kind == network.RTS) {
+		if n.queueLen(&n.unexp)+n.admittedHdrs >= n.cfg.MaxUnexpected {
+			return true
+		}
+	}
+	return false
+}
+
+// sendAckNow cumulatively ACKs everything accepted so far from pr.
+func (n *NIC) sendAckNow(pr *relPeer) {
+	n.rel.AcksSent++
+	n.sendCtl(network.Ack, pr.id, pr.expected-1)
+}
+
+// handleAck processes a cumulative acknowledgement up to seq.
+func (n *NIC) handleAck(pr *relPeer, seq uint64) {
+	progress := false
+	for len(pr.unacked) > 0 && pr.unacked[0].RelSeq <= seq {
+		pr.unacked = pr.unacked[1:]
+		progress = true
+	}
+	if !progress {
+		return
+	}
+	// Forward progress: the path works; reset the backoff.
+	pr.rto = n.rtoInit
+	pr.paused = false
+	// Refill the window from the software send queue.
+	for len(pr.sendQ) > 0 && len(pr.unacked) < n.cfg.RelWindow {
+		pkt := pr.sendQ[0]
+		pr.sendQ = pr.sendQ[1:]
+		n.txData(pr, pkt)
+	}
+	if len(pr.unacked) == 0 {
+		n.disarmTimer(pr)
+		return
+	}
+	n.armTimer(pr, pr.rto, func() { n.relTimeout(pr) })
+}
+
+// handleNack is the go-back-N retransmit request: the receiver discarded
+// everything from seq on. Duplicate NACKs for the same point inside one
+// round trip are suppressed to avoid a retransmit storm.
+func (n *NIC) handleNack(pr *relPeer, seq uint64) {
+	if len(pr.unacked) == 0 {
+		return
+	}
+	if seq == pr.lastNack && n.eng.Now() < pr.lastAt+pr.rto {
+		return
+	}
+	pr.lastNack = seq
+	pr.lastAt = n.eng.Now()
+	n.goBack(pr, seq)
+}
+
+// handleRNR pauses the window and retries from seq after a backoff: the
+// receiver had no room, so immediate retransmission would only be refused
+// again. Each consecutive RNR doubles the pause (reset on ACK progress).
+func (n *NIC) handleRNR(pr *relPeer, seq uint64) {
+	if len(pr.unacked) == 0 {
+		return
+	}
+	pr.paused = true
+	pause := pr.rto
+	pr.rto *= 2
+	if pr.rto > n.rtoMax {
+		pr.rto = n.rtoMax
+	}
+	n.armTimer(pr, pause, func() {
+		pr.paused = false
+		n.goBack(pr, seq)
+		if !pr.armed && len(pr.unacked) > 0 {
+			n.armTimer(pr, pr.rto, func() { n.relTimeout(pr) })
+		}
+	})
+}
+
+// goBack retransmits every unacked packet with RelSeq >= seq, in order.
+func (n *NIC) goBack(pr *relPeer, seq uint64) {
+	for _, pkt := range pr.unacked {
+		if pkt.RelSeq < seq {
+			continue
+		}
+		n.rel.Retransmits++
+		n.net.Send(pkt)
+	}
+}
+
+// Rel returns a snapshot of the reliability counters.
+func (n *NIC) Rel() RelStats { return n.rel }
+
+// RelPending reports outstanding transmit state (unacked + queued), for
+// drain assertions in tests and the watchdog diagnostic dump.
+func (n *NIC) RelPending() int {
+	total := 0
+	for _, pr := range n.relPeers {
+		if pr != nil {
+			total += len(pr.unacked) + len(pr.sendQ)
+		}
+	}
+	return total
+}
+
+// Diag renders the NIC's live state for watchdog diagnostic dumps: queue
+// occupancy, recoverable-error counters, and (when the reliability engine
+// runs) its protocol counters and outstanding transmit state.
+func (n *NIC) Diag() string {
+	s := fmt.Sprintf("nic%d: rxq=%d hostq=%d posted=%d unexp=%d errs[%s]",
+		n.cfg.ID, n.ep.RxQ.Len(), n.HostQ.Len(),
+		n.queueLen(&n.posted), n.queueLen(&n.unexp), n.errs.String())
+	if !n.cfg.Reliable {
+		return s
+	}
+	return s + fmt.Sprintf(
+		"\n  rel: sent=%d retx=%d timeouts=%d acks=%d/%d nacks=%d rnr=%d drops(csum/dup/gap)=%d/%d/%d pending=%d",
+		n.rel.DataSent, n.rel.Retransmits, n.rel.Timeouts,
+		n.rel.AcksSent, n.rel.AcksRecv, n.rel.NacksSent, n.rel.RNRSent,
+		n.rel.CsumDrops, n.rel.DupDrops, n.rel.GapDrops, n.RelPending())
+}

@@ -90,6 +90,63 @@ func CSV(w io.Writer, header []string, rows [][]any) {
 	}
 }
 
+// Counters is a named-counter set with deterministic (insertion-ordered)
+// iteration, used for the per-NIC protocol-error and reliability counters:
+// recoverable faults are counted here instead of panicking, and reports
+// render the set in a stable order so chaos runs diff cleanly.
+type Counters struct {
+	names []string
+	vals  map[string]uint64
+}
+
+// Add increments counter name by n (creating it at first touch).
+func (c *Counters) Add(name string, n uint64) {
+	if c.vals == nil {
+		c.vals = make(map[string]uint64)
+	}
+	if _, ok := c.vals[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.vals[name] += n
+}
+
+// Get returns the value of counter name (0 if never touched).
+func (c *Counters) Get(name string) uint64 { return c.vals[name] }
+
+// Names returns the counter names in first-touch order.
+func (c *Counters) Names() []string { return c.names }
+
+// Total sums all counters.
+func (c *Counters) Total() uint64 {
+	var t uint64
+	for _, v := range c.vals {
+		t += v
+	}
+	return t
+}
+
+// Merge folds other into c (first-touch order of c, then of other).
+func (c *Counters) Merge(other *Counters) {
+	if other == nil {
+		return
+	}
+	for _, name := range other.names {
+		c.Add(name, other.vals[name])
+	}
+}
+
+// String renders "name=value" pairs in first-touch order, or "none".
+func (c *Counters) String() string {
+	if len(c.names) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(c.names))
+	for i, name := range c.names {
+		parts[i] = fmt.Sprintf("%s=%d", name, c.vals[name])
+	}
+	return strings.Join(parts, " ")
+}
+
 // Summary holds min/max/mean of a float series.
 type Summary struct {
 	N        int

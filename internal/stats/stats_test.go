@@ -68,3 +68,36 @@ func TestLinearFit(t *testing.T) {
 		t.Errorf("degenerate fit = %v, %v; want 0, 2", m, b)
 	}
 }
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	if got := c.String(); got != "none" {
+		t.Fatalf("empty Counters String = %q", got)
+	}
+	if c.Get("missing") != 0 {
+		t.Fatal("missing counter not zero")
+	}
+	c.Add("b", 2)
+	c.Add("a", 1)
+	c.Add("b", 3)
+	if got := c.Get("b"); got != 5 {
+		t.Fatalf("b = %d, want 5", got)
+	}
+	if got := c.String(); got != "b=5 a=1" {
+		t.Fatalf("String = %q, want first-touch order", got)
+	}
+	if got := c.Total(); got != 6 {
+		t.Fatalf("Total = %d, want 6", got)
+	}
+	var d Counters
+	d.Add("c", 7)
+	d.Add("a", 1)
+	c.Merge(&d)
+	c.Merge(nil)
+	if got := c.String(); got != "b=5 a=2 c=7" {
+		t.Fatalf("merged String = %q", got)
+	}
+	if got := len(c.Names()); got != 3 {
+		t.Fatalf("Names len = %d", got)
+	}
+}

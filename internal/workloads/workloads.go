@@ -13,10 +13,27 @@ import (
 	"math/rand"
 
 	"alpusim/internal/mpi"
+	"alpusim/internal/network"
 	"alpusim/internal/nic"
 	"alpusim/internal/sim"
 	"alpusim/internal/trace"
 )
+
+// Option adjusts the mpi.Config a workload runs under. Options compose
+// with any workload; the zero set reproduces the historical clean runs.
+type Option func(*mpi.Config)
+
+// WithFaults runs the workload over a faulty network (the NIC reliability
+// protocol is forced on by mpi.NewWorld).
+func WithFaults(fm *network.FaultModel) Option {
+	return func(cfg *mpi.Config) { cfg.Faults = fm }
+}
+
+// WithWatchdog bounds the workload's simulated time; a stalled world
+// panics with a diagnostic dump instead of hanging.
+func WithWatchdog(limit sim.Time) Option {
+	return func(cfg *mpi.Config) { cfg.WatchdogLimit = limit }
+}
 
 // Report summarises one workload run.
 type Report struct {
@@ -34,6 +51,14 @@ type Report struct {
 	EntriesTraversed uint64
 	ALPUHits         uint64
 	ALPUMisses       uint64
+
+	// Reliability aggregates, nonzero only under WithFaults.
+	FaultsInjected uint64
+	Retransmits    uint64
+	NacksSent      uint64
+	RNRSent        uint64
+	Recoveries     uint64
+	ProtocolErrors uint64
 }
 
 func (r Report) String() string {
@@ -58,14 +83,25 @@ func gather(name string, w *mpi.World, elapsed sim.Time) Report {
 		rep.EntriesTraversed += st.EntriesTraversed
 		rep.ALPUHits += st.ALPUPostedHits + st.ALPUUnexpHits
 		rep.ALPUMisses += st.ALPUPostedMisses + st.ALPUUnexpMisses
+		rel := n.Rel()
+		rep.Retransmits += rel.Retransmits
+		rep.NacksSent += rel.NacksSent
+		rep.RNRSent += rel.RNRSent
+		rep.Recoveries += rel.Recoveries
+		rep.ProtocolErrors += n.Errors().Total()
 	}
+	rep.FaultsInjected = w.Net.FaultStats().Total()
 	return rep
 }
 
 // run executes prog on a fresh cluster and reports.
-func run(name string, nicCfg nic.Config, ranks int, prog mpi.Program) Report {
+func run(name string, nicCfg nic.Config, ranks int, prog mpi.Program, opts []Option) Report {
+	cfg := mpi.Config{Ranks: ranks, NIC: nicCfg}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	var last sim.Time
-	w := mpi.Run(mpi.Config{Ranks: ranks, NIC: nicCfg}, func(r *mpi.Rank) {
+	w := mpi.Run(cfg, func(r *mpi.Rank) {
 		prog(r)
 		if r.Now() > last {
 			last = r.Now()
@@ -79,7 +115,7 @@ func run(name string, nicCfg nic.Config, ranks int, prog mpi.Program) Report {
 // reduceEvery iterations the ranks Allreduce 8 bytes. Queues stay short;
 // this is the regime where the paper expects the ALPU to cost (a little)
 // rather than pay.
-func Halo(nicCfg nic.Config, ranks, iters, msgSize, reduceEvery int) Report {
+func Halo(nicCfg nic.Config, ranks, iters, msgSize, reduceEvery int, opts ...Option) Report {
 	if reduceEvery <= 0 {
 		reduceEvery = 10
 	}
@@ -98,7 +134,7 @@ func Halo(nicCfg nic.Config, ranks, iters, msgSize, reduceEvery int) Report {
 				c.Allreduce(8) // convergence check
 			}
 		}
-	})
+	}, opts)
 }
 
 // MasterWorker runs a manager/worker pattern: the master keeps a window
@@ -106,7 +142,7 @@ func Halo(nicCfg nic.Config, ranks, iters, msgSize, reduceEvery int) Report {
 // use "is most prevalent") plus one explicit-source result receive per
 // worker in flight, so its posted receive queue grows with the number of
 // workers — the refs [8]/[9] scaling behaviour the ALPU targets.
-func MasterWorker(nicCfg nic.Config, ranks, tasksPerWorker, taskSize, window int) Report {
+func MasterWorker(nicCfg nic.Config, ranks, tasksPerWorker, taskSize, window int, opts ...Option) Report {
 	if window <= 0 {
 		window = 2
 	}
@@ -184,7 +220,7 @@ func MasterWorker(nicCfg nic.Config, ranks, tasksPerWorker, taskSize, window int
 			}
 			c.Recv(0, tagTask+1, 0)
 		}
-	})
+	}, opts)
 }
 
 // UnexpectedStorm runs a loosely synchronised pattern: every rank blasts
@@ -195,7 +231,7 @@ func MasterWorker(nicCfg nic.Config, ranks, tasksPerWorker, taskSize, window int
 // scenario: "Each receive would take progressively longer and would
 // impact the application execution time directly. In such a case, the
 // ALPU would offer a much greater benefit."
-func UnexpectedStorm(nicCfg nic.Config, ranks, msgsPerRank, msgSize int) Report {
+func UnexpectedStorm(nicCfg nic.Config, ranks, msgsPerRank, msgSize int, opts ...Option) Report {
 	name := fmt.Sprintf("unexpected-storm(ranks=%d msgs=%d size=%d)", ranks, msgsPerRank, msgSize)
 	return run(name, nicCfg, ranks, func(r *mpi.Rank) {
 		c := r.Comm()
@@ -214,12 +250,12 @@ func UnexpectedStorm(nicCfg nic.Config, ranks, msgsPerRank, msgSize int) Report 
 			}
 		}
 		r.Waitall(reqs...)
-	})
+	}, opts)
 }
 
 // Sweep runs an all-to-all-dominated pattern (spectral/transpose codes):
 // iters rounds of Alltoall plus a reduction.
-func Sweep(nicCfg nic.Config, ranks, iters, msgSize int) Report {
+func Sweep(nicCfg nic.Config, ranks, iters, msgSize int, opts ...Option) Report {
 	name := fmt.Sprintf("sweep-alltoall(ranks=%d iters=%d size=%d)", ranks, iters, msgSize)
 	return run(name, nicCfg, ranks, func(r *mpi.Rank) {
 		c := r.Comm()
@@ -227,14 +263,14 @@ func Sweep(nicCfg nic.Config, ranks, iters, msgSize int) Report {
 			c.Alltoall(msgSize)
 			c.Allreduce(8)
 		}
-	})
+	}, opts)
 }
 
 // Irregular runs a randomised sparse communication pattern: each rank
 // sends to a few random peers per round (deterministic per seed), with
 // receivers posting wildcard receives per round. Mixes unexpected
 // arrivals with posted matching at varying depths.
-func Irregular(nicCfg nic.Config, ranks, rounds, degree, msgSize int, seed int64) Report {
+func Irregular(nicCfg nic.Config, ranks, rounds, degree, msgSize int, seed int64, opts ...Option) Report {
 	name := fmt.Sprintf("irregular(ranks=%d rounds=%d deg=%d)", ranks, rounds, degree)
 	// Precompute the traffic matrix so every rank agrees on counts.
 	rng := rand.New(rand.NewSource(seed))
@@ -270,5 +306,5 @@ func Irregular(nicCfg nic.Config, ranks, rounds, degree, msgSize int, seed int64
 			r.Waitall(reqs...)
 			c.Barrier()
 		}
-	})
+	}, opts)
 }
