@@ -10,6 +10,9 @@
 //	fig5-alpu256   latency surface, NIC + 256-entry ALPU (Fig. 5e/f)
 //	fig6           unexpected-queue latency series, all 3 NICs (Fig. 6)
 //	anchors        the §VI-B/§VI-C text anchors, measured vs published
+//	phases         per-message latency phase breakdown: the Fig. 5 workload
+//	               decomposed into inject/wire/recovery/rxfifo/search/
+//	               deliver/host phases that sum to the end-to-end latency
 //	chaos          the figure workloads over a faulty network: injected
 //	               faults vs the NIC reliability protocol's recovery stats
 //	bench          wall-clock harness: times every figure sweep at -jobs 1
@@ -22,16 +25,22 @@
 // byte-identical at any setting; -jobs 1 is fully sequential).
 //
 // Fault injection: -faults installs a network fault model for experiments
-// that support one (currently chaos): either one probability for all
+// that support one (chaos, phases): either one probability for all
 // classes ("0.02") or per-class pairs ("drop=0.01,reorder=0.05"). -seed
 // seeds the injection stream; the same seed reproduces the identical run
 // byte for byte.
+//
+// Telemetry: for the phases experiment, -trace FILE writes a Chrome
+// trace-event JSON (load at ui.perfetto.dev) and -metrics FILE writes the
+// merged metrics-registry snapshot as JSON; "-" means stdout. Both are
+// byte-identical across runs with the same flags at any -jobs setting.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -43,6 +52,7 @@ import (
 	"alpusim/internal/nic"
 	"alpusim/internal/params"
 	"alpusim/internal/stats"
+	"alpusim/internal/telemetry"
 )
 
 var (
@@ -54,6 +64,8 @@ var (
 	benchOut   = flag.String("benchout", "BENCH.json", "output path for -experiment bench")
 	faultSpec  = flag.String("faults", "", "fault model: a probability (\"0.02\") or class=prob pairs (\"drop=0.01,dup=0.01,reorder=0.02,corrupt=0.005\")")
 	faultSeed  = flag.Int64("seed", 1, "fault-injection seed (same seed => byte-identical run)")
+	tracePath  = flag.String("trace", "", "phases experiment: write Chrome trace-event JSON to this file (\"-\" = stdout)")
+	metricsOut = flag.String("metrics", "", "phases experiment: write the merged metrics snapshot JSON to this file (\"-\" = stdout)")
 )
 
 func main() {
@@ -80,6 +92,8 @@ func main() {
 		gapExp()
 	case "anchors":
 		anchors()
+	case "phases":
+		phasesExp()
 	case "chaos":
 		chaosExp()
 	case "bench":
@@ -94,6 +108,7 @@ func main() {
 		fig6()
 		gapExp()
 		anchors()
+		phasesExp()
 	default:
 		fmt.Fprintf(os.Stderr, "alpusim: unknown experiment %q\n", *experiment)
 		flag.Usage()
@@ -424,6 +439,96 @@ func benchHarness() {
 	}
 	fmt.Printf("total: seq %.2fs, par %.2fs, %.2fx -> %s\n",
 		rep.TotalSeqSec, rep.TotalParSec, rep.Speedup, *benchOut)
+}
+
+// phasesLens is smaller than the figure sweeps: the breakdown is about
+// where the cycles go at representative depths, not the full surface.
+func phasesLens() []int {
+	if *quick {
+		return []int{0, 32, 128}
+	}
+	return []int{0, 32, 128, 512}
+}
+
+// writeOutput writes to path via write, with "-" meaning stdout.
+func writeOutput(path string, write func(w io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// phasesExp decomposes the Fig. 5 end-to-end latency into pipeline
+// phases per NIC kind and queue length. The phase columns telescope —
+// they sum to the "total" column, which equals the independently
+// measured "e2e" latency. With -faults, retransmit recovery time lands
+// in the recovery column; -trace and -metrics export the runs'
+// telemetry.
+func phasesExp() {
+	var fm *network.FaultModel
+	if *faultSpec != "" {
+		var err error
+		fm, err = network.ParseFaults(*faultSpec, *faultSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alpusim: -faults: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	pts := bench.RunPhases(bench.PhasesConfig{
+		QueueLens: phasesLens(),
+		MsgSize:   *msgSize,
+		Jobs:      *jobs,
+		Faults:    fm,
+		Trace:     *tracePath != "",
+	})
+	if *format == "csv" {
+		header := []string{"nic", "queue_len"}
+		for p := telemetry.Phase(0); p < telemetry.NumPhases; p++ {
+			header = append(header, p.String()+"_ns")
+		}
+		header = append(header, "total_ns", "e2e_ns")
+		rows := make([][]any, 0, len(pts))
+		for _, p := range pts {
+			row := []any{p.Kind.String(), p.QueueLen}
+			for ph := telemetry.Phase(0); ph < telemetry.NumPhases; ph++ {
+				row = append(row, p.Breakdown.Durs[ph].Nanoseconds())
+			}
+			row = append(row, p.Breakdown.Total.Nanoseconds(), p.Latency.Nanoseconds())
+			rows = append(rows, row)
+		}
+		stats.CSV(os.Stdout, header, rows)
+		fmt.Println()
+	} else {
+		fmt.Printf("Latency phase breakdown: final-iteration phases (ns), %d-byte messages\n", *msgSize)
+		bench.RenderPhases(os.Stdout, pts)
+		fmt.Println()
+	}
+	if *tracePath != "" {
+		err := writeOutput(*tracePath, func(w io.Writer) error {
+			return telemetry.WriteTrace(w, bench.Tracers(pts)...)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alpusim: -trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		err := writeOutput(*metricsOut, func(w io.Writer) error {
+			return bench.MergedMetrics(pts).WriteJSON(w)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alpusim: -metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // chaosExp re-runs the figure workloads over a faulty network and reports

@@ -16,11 +16,17 @@
 // simulated timestamps.
 //
 //	queueprobe [-cells 128] [-block 16] [-variant posted|unexpected] [-demo]
+//	           [-trace FILE] [-metrics FILE]
+//
+// -trace FILE writes the session's device activity (insert/search spans
+// on the simulated clock) as Chrome trace-event JSON; -metrics FILE
+// writes the device counters as a metrics snapshot. "-" means stdout.
 package main
 
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -30,13 +36,16 @@ import (
 	"alpusim/internal/alpu"
 	"alpusim/internal/match"
 	"alpusim/internal/sim"
+	"alpusim/internal/telemetry"
 )
 
 var (
-	cells   = flag.Int("cells", 128, "total cells")
-	block   = flag.Int("block", 16, "cells per block (power of 2)")
-	variant = flag.String("variant", "posted", "posted or unexpected")
-	demo    = flag.Bool("demo", false, "run the built-in demo script")
+	cells      = flag.Int("cells", 128, "total cells")
+	block      = flag.Int("block", 16, "cells per block (power of 2)")
+	variant    = flag.String("variant", "posted", "posted or unexpected")
+	demo       = flag.Bool("demo", false, "run the built-in demo script")
+	tracePath  = flag.String("trace", "", "write Chrome trace-event JSON to this file (\"-\" = stdout)")
+	metricsOut = flag.String("metrics", "", "write the device metrics snapshot JSON to this file (\"-\" = stdout)")
 )
 
 const demoScript = `start
@@ -62,6 +71,12 @@ func main() {
 	}
 	cfg := alpu.DefaultConfig(v, *cells)
 	cfg.Geometry.BlockSize = *block
+	var tracer *telemetry.Tracer
+	if *tracePath != "" {
+		tracer = telemetry.NewTracer()
+		tracer.NameProcess(0, "alpu")
+		cfg.Tracer = tracer
+	}
 	eng := sim.NewEngine()
 	dev, err := alpu.NewDevice(eng, "alpu", cfg)
 	if err != nil {
@@ -105,6 +120,36 @@ func main() {
 			}
 		}
 	}
+	if *tracePath != "" {
+		if err := writeOutput(*tracePath, tracer.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "queueprobe: -trace:", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		reg := telemetry.NewRegistry()
+		dev.Publish(reg, "alpu")
+		if err := writeOutput(*metricsOut, reg.Snapshot().WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "queueprobe: -metrics:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeOutput writes to path via write, with "-" meaning stdout.
+func writeOutput(path string, write func(w io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // field parses a decimal or the wildcard "*".

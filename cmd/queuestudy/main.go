@@ -5,16 +5,23 @@
 // ALPU does to traversal work and completion time.
 //
 //	queuestudy [-ranks 4,8,16] [-workload all|halo|master|storm|sweep|irregular] [-cells 128] [-jobs N]
-//	           [-faults drop=0.01,corrupt=0.01] [-seed N]
+//	           [-faults drop=0.01,corrupt=0.01] [-seed N] [-breakdown] [-trace FILE] [-metrics FILE]
 //
 // With -faults every study runs over a faulty network with the NIC
 // reliability protocol recovering; a second table reports what the
 // recovery cost. The same -seed reproduces the identical run.
+//
+// Telemetry: -breakdown adds a per-study table of mean per-message
+// latency phases; -trace FILE writes a Chrome trace-event JSON of every
+// study world (load at ui.perfetto.dev); -metrics FILE writes the merged
+// metrics-registry snapshot as JSON. "-" means stdout. All outputs are
+// byte-identical at any -jobs setting.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -25,16 +32,20 @@ import (
 	"alpusim/internal/sim"
 	"alpusim/internal/stats"
 	"alpusim/internal/sweep"
+	"alpusim/internal/telemetry"
 	"alpusim/internal/workloads"
 )
 
 var (
-	ranksFlag = flag.String("ranks", "4,8,16", "comma-separated process counts")
-	workload  = flag.String("workload", "all", "halo, master, storm, sweep, irregular, or all")
-	cells     = flag.Int("cells", 128, "ALPU cells for the accelerated runs")
-	jobsFlag  = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation worlds (1 = sequential)")
-	faultSpec = flag.String("faults", "", "fault model: a probability or class=prob pairs (see alpusim -help)")
-	faultSeed = flag.Int64("seed", 1, "fault-injection seed")
+	ranksFlag  = flag.String("ranks", "4,8,16", "comma-separated process counts")
+	workload   = flag.String("workload", "all", "halo, master, storm, sweep, irregular, or all")
+	cells      = flag.Int("cells", 128, "ALPU cells for the accelerated runs")
+	jobsFlag   = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation worlds (1 = sequential)")
+	faultSpec  = flag.String("faults", "", "fault model: a probability or class=prob pairs (see alpusim -help)")
+	faultSeed  = flag.Int64("seed", 1, "fault-injection seed")
+	breakdown  = flag.Bool("breakdown", false, "report mean per-message latency phases per study")
+	tracePath  = flag.String("trace", "", "write Chrome trace-event JSON to this file (\"-\" = stdout)")
+	metricsOut = flag.String("metrics", "", "write the merged metrics snapshot JSON to this file (\"-\" = stdout)")
 )
 
 // faultyWatchdog bounds each study world when faults are injected; the
@@ -109,6 +120,25 @@ func main() {
 	}
 	var studies []study
 	var runs []func() workloads.Report
+	// Per-run recorders (phases and tracer), indexed like runs: each
+	// world owns its recorders; outputs merge in enumeration order.
+	var phases []*telemetry.Phases
+	var tracers []*telemetry.Tracer
+	addRun := func(cfg nic.Config, n int, r runner) {
+		var p *telemetry.Phases
+		var tr *telemetry.Tracer
+		if *breakdown {
+			p = telemetry.NewPhases()
+		}
+		if *tracePath != "" {
+			tr = telemetry.NewTracer()
+		}
+		phases = append(phases, p)
+		tracers = append(tracers, tr)
+		ro := append(append([]workloads.Option{}, opts...),
+			workloads.WithPhases(p), workloads.WithTracer(tr))
+		runs = append(runs, func() workloads.Report { return r.run(cfg, n, ro...) })
+	}
 	for _, r := range runners() {
 		if *workload != "all" && *workload != r.name {
 			continue
@@ -116,9 +146,8 @@ func main() {
 		for _, n := range ranks {
 			r, n := r, n
 			studies = append(studies, study{name: r.name, ranks: n})
-			runs = append(runs,
-				func() workloads.Report { return r.run(nic.Config{}, n, opts...) },
-				func() workloads.Report { return r.run(nic.Config{UseALPU: true, Cells: *cells}, n, opts...) })
+			addRun(nic.Config{}, n, r)
+			addRun(nic.Config{UseALPU: true, Cells: *cells}, n, r)
 		}
 	}
 	reports := sweep.Map(*jobsFlag, len(runs), func(i int) workloads.Report { return runs[i]() })
@@ -157,8 +186,67 @@ func main() {
 		rt.Render(os.Stdout)
 		fmt.Println()
 	}
+	if *breakdown {
+		// Mean per-message phases: every eager message a study world
+		// completed, decomposed into the telemetry pipeline phases.
+		bt := stats.NewTable("workload", "ranks", "nic", "msgs",
+			"wire", "recovery", "rxfifo", "search", "deliver", "host", "mean total (ns)")
+		for i, s := range studies {
+			for j, label := range []string{"baseline", "alpu"} {
+				tot := phases[2*i+j].Totals()
+				bt.AddRow(s.name, s.ranks, label, tot.Messages,
+					tot.MeanNs(telemetry.PhaseWire),
+					tot.MeanNs(telemetry.PhaseRecovery),
+					tot.MeanNs(telemetry.PhaseRxFIFO),
+					tot.MeanNs(telemetry.PhaseSearch),
+					tot.MeanNs(telemetry.PhaseDeliver),
+					tot.MeanNs(telemetry.PhaseHost),
+					tot.MeanTotalNs())
+			}
+		}
+		bt.Render(os.Stdout)
+		fmt.Println()
+	}
+	if *tracePath != "" {
+		err := writeOutput(*tracePath, func(w io.Writer) error {
+			return telemetry.WriteTrace(w, tracers...)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "queuestudy: -trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		var merged telemetry.Snapshot
+		for _, rep := range reports {
+			merged.Merge(rep.Telemetry)
+		}
+		err := writeOutput(*metricsOut, func(w io.Writer) error {
+			return merged.WriteJSON(w)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "queuestudy: -metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	fmt.Println("Reading the table: queue depth and match depth grow with the process")
 	fmt.Println("count for manager/worker and storm patterns (the paper's motivation);")
 	fmt.Println("the ALPU collapses software traversals and pays off exactly there,")
 	fmt.Println("while staying near-neutral for short-queue nearest-neighbour codes.")
+}
+
+// writeOutput writes to path via write, with "-" meaning stdout.
+func writeOutput(path string, write func(w io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

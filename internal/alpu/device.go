@@ -6,6 +6,7 @@ import (
 	"alpusim/internal/match"
 	"alpusim/internal/params"
 	"alpusim/internal/sim"
+	"alpusim/internal/telemetry"
 )
 
 // Config describes a Device build point and its timing.
@@ -30,6 +31,12 @@ type Config struct {
 	// "any empty cell anywhere above" (§III-B discusses this as a timing
 	// trade-off). Used by the abl-compaction ablation.
 	CompactAnyBlock bool
+
+	// Tracer, when set, records search/insert spans and delete instants
+	// on the (TracePID, TraceTID) track.
+	Tracer   *telemetry.Tracer
+	TracePID int
+	TraceTID int
 }
 
 // DefaultConfig returns the simulated configuration used by the paper's
@@ -143,6 +150,29 @@ func (d *Device) Stats() Stats { return d.stats }
 
 // InsertMode reports whether the device is between START and STOP INSERT.
 func (d *Device) InsertMode() bool { return d.insertMode }
+
+// Publish harvests the device's activity counters into a telemetry
+// registry under prefix (e.g. "nic0/alpu/posted"). Idempotent: values
+// are Set, so repeated harvests never double-count.
+func (d *Device) Publish(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	s := d.stats
+	reg.Counter(prefix + "/matches").Set(s.Matches)
+	reg.Counter(prefix + "/hits").Set(s.Hits)
+	reg.Counter(prefix + "/failures").Set(s.Failures)
+	reg.Counter(prefix + "/held_retries").Set(s.HeldRetries)
+	reg.Counter(prefix + "/inserts").Set(s.Inserts)
+	reg.Counter(prefix + "/lost_inserts").Set(s.LostInserts)
+	reg.Counter(prefix + "/resets").Set(s.Resets)
+	reg.Counter(prefix + "/discarded").Set(s.Discarded)
+	reg.Counter(prefix + "/start_inserts").Set(s.StartInserts)
+	reg.Counter(prefix + "/shift_cycles").Set(s.ShiftCycles)
+	reg.Counter(prefix + "/result_stalls").Set(s.ResultStalls)
+	reg.Gauge(prefix + "/max_occupancy").SetMax(int64(s.MaxOccupancy))
+	reg.Gauge(prefix + "/occupancy").Set(int64(d.Occupancy()))
+}
 
 // PushProbe delivers a header/receive copy into the header FIFO (the
 // hardware path of Fig. 1; no processor involvement). It reports false if
@@ -275,6 +305,10 @@ func (d *Device) insertLoop(p *sim.Process) {
 // vacate it if necessary. Inserts are irrevocable (§IV-C footnote 4): an
 // insert with no free cell is lost and counted.
 func (d *Device) doInsert(p *sim.Process, c Command) {
+	if t := d.cfg.Tracer; t != nil {
+		start := p.Now()
+		defer func() { t.Span(d.cfg.TracePID, d.cfg.TraceTID, "alpu", "insert", start, p.Now()) }()
+	}
 	if d.free() == 0 {
 		d.stats.LostInserts++
 		d.tick(p, d.cfg.InsertCycles)
@@ -298,6 +332,7 @@ func (d *Device) doMatch(p *sim.Process, probe Probe, inInsertMode bool) {
 	// Resolve the match and delete against the pipeline-entry state; the
 	// tick below models the pipeline occupancy. Compaction during the tick
 	// may move cells, so the result must be captured first.
+	searchStart := p.Now()
 	idx := d.findMatch(probe)
 	hit := idx >= 0
 	var tag uint32
@@ -306,6 +341,12 @@ func (d *Device) doMatch(p *sim.Process, probe Probe, inInsertMode bool) {
 		d.deleteAt(idx)
 	}
 	d.tick(p, d.cfg.MatchCycles)
+	if t := d.cfg.Tracer; t != nil {
+		t.Span(d.cfg.TracePID, d.cfg.TraceTID, "alpu", "search", searchStart, p.Now())
+		if hit {
+			t.Instant(d.cfg.TracePID, d.cfg.TraceTID, "alpu", "delete", p.Now())
+		}
+	}
 	d.stats.Matches++
 	if hit {
 		d.stats.Hits++

@@ -11,6 +11,7 @@ import (
 	"alpusim/internal/nic"
 	"alpusim/internal/sim"
 	"alpusim/internal/sweep"
+	"alpusim/internal/telemetry"
 )
 
 // Tags used by the workloads. NoMatchTag entries never match a probe;
@@ -89,6 +90,14 @@ type PrepostedConfig struct {
 	// simulated time of such worlds (0 = none). Used by the chaos harness.
 	Faults   *network.FaultModel
 	Watchdog sim.Time
+
+	// Telemetry / Tracer / Phases instrument the point's world. Each
+	// world must own its recorders, so these only make sense when the
+	// config describes a single point (the phases and chaos harnesses
+	// build a fresh config per cell).
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
+	Phases    *telemetry.Phases
 }
 
 // jobs maps the config's zero value to the historical sequential run.
@@ -172,6 +181,7 @@ func prepostedPoint(cfg PrepostedConfig, q, p int) (sim.Time, *mpi.World) {
 			r.Barrier()
 			for k := 0; k < iters; k++ {
 				sendStart[k] = r.Now()
+				cfg.Phases.Stamp(mpi.MsgKey(0, matchBase+k), telemetry.StampInject, r.Now())
 				r.Send(1, matchBase+k, cfg.MsgSize)
 				r.Wait(acks[k])
 			}
@@ -200,6 +210,7 @@ func prepostedPoint(cfg PrepostedConfig, q, p int) (sim.Time, *mpi.World) {
 	w := mpi.RunPrograms(mpi.Config{
 		Ranks: 2, NIC: cfg.NIC,
 		Faults: cfg.Faults, WatchdogLimit: cfg.Watchdog,
+		Telemetry: cfg.Telemetry, Tracer: cfg.Tracer, Phases: cfg.Phases,
 	}, progs)
 
 	// Report the final iteration: cache and ALPU state have reached the
@@ -226,6 +237,11 @@ type UnexpectedConfig struct {
 	// Faults / Watchdog: as in PrepostedConfig (chaos harness).
 	Faults   *network.FaultModel
 	Watchdog sim.Time
+
+	// Telemetry / Tracer / Phases: as in PrepostedConfig (single point only).
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
+	Phases    *telemetry.Phases
 }
 
 // RunUnexpected measures latency — including the time to post the
@@ -257,6 +273,7 @@ func unexpectedPoint(cfg UnexpectedConfig, u int) (sim.Time, *mpi.World) {
 			}
 			r.Send(1, doneTag, 0)
 			r.Wait(goReq)
+			cfg.Phases.Stamp(mpi.MsgKey(0, matchBase), telemetry.StampInject, r.Now())
 			r.Send(1, matchBase, cfg.MsgSize)
 		},
 		// Rank 1: waits until the flood has fully arrived (DONE is
@@ -276,6 +293,7 @@ func unexpectedPoint(cfg UnexpectedConfig, u int) (sim.Time, *mpi.World) {
 	w := mpi.RunPrograms(mpi.Config{
 		Ranks: 2, NIC: cfg.NIC,
 		Faults: cfg.Faults, WatchdogLimit: cfg.Watchdog,
+		Telemetry: cfg.Telemetry, Tracer: cfg.Tracer, Phases: cfg.Phases,
 	}, progs)
 	return t1 - t0, w
 }

@@ -66,25 +66,26 @@ type ChaosResult struct {
 }
 
 // worldTotals folds the per-NIC reliability and error counters of a
-// drained world.
+// drained world out of its telemetry registry: Sum("rel/retransmits")
+// adds "nic0/rel/retransmits" + "nic1/rel/retransmits" + ...
 func worldTotals(w *mpi.World) (nic.RelStats, uint64) {
-	var rel nic.RelStats
-	var errs uint64
-	for _, n := range w.NICs {
-		r := n.Rel()
-		rel.DataSent += r.DataSent
-		rel.Retransmits += r.Retransmits
-		rel.Timeouts += r.Timeouts
-		rel.AcksSent += r.AcksSent
-		rel.NacksSent += r.NacksSent
-		rel.RNRSent += r.RNRSent
-		rel.CsumDrops += r.CsumDrops
-		rel.DupDrops += r.DupDrops
-		rel.GapDrops += r.GapDrops
-		rel.Recoveries += r.Recoveries
-		errs += n.Errors().Total()
+	s := w.TelemetrySnapshot()
+	rel := nic.RelStats{
+		DataSent:    s.Sum("rel/data_sent"),
+		Retransmits: s.Sum("rel/retransmits"),
+		Timeouts:    s.Sum("rel/timeouts"),
+		AcksSent:    s.Sum("rel/acks_sent"),
+		NacksSent:   s.Sum("rel/nacks_sent"),
+		RNRSent:     s.Sum("rel/rnr_sent"),
+		AcksRecv:    s.Sum("rel/acks_recv"),
+		NacksRecv:   s.Sum("rel/nacks_recv"),
+		RNRRecv:     s.Sum("rel/rnr_recv"),
+		CsumDrops:   s.Sum("rel/csum_drops"),
+		DupDrops:    s.Sum("rel/dup_drops"),
+		GapDrops:    s.Sum("rel/gap_drops"),
+		Recoveries:  s.Sum("rel/recoveries"),
 	}
-	return rel, errs
+	return rel, s.Sum("err")
 }
 
 // RunChaos runs both figure workloads fault-free and under every mix.

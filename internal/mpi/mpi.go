@@ -18,6 +18,7 @@ import (
 	"alpusim/internal/params"
 	"alpusim/internal/proc"
 	"alpusim/internal/sim"
+	"alpusim/internal/telemetry"
 )
 
 // Wildcards, as in the MPI standard (§II).
@@ -53,6 +54,15 @@ type Config struct {
 	// a diagnostic dump) if simulated time passes it — the stall detector
 	// for fault mixes that somehow livelock. 0 = no watchdog.
 	WatchdogLimit sim.Time
+
+	// Telemetry is the world's metrics registry; nil creates one (shared
+	// by all NICs and the network), so TelemetrySnapshot always works.
+	Telemetry *telemetry.Registry
+	// Tracer records the world's activity as Chrome trace events: NIC
+	// firmware/ALPU/reliability tracks plus engine counter sampling.
+	Tracer *telemetry.Tracer
+	// Phases records per-message latency pipeline stamps.
+	Phases *telemetry.Phases
 }
 
 // World is a built cluster.
@@ -61,6 +71,12 @@ type World struct {
 	Net   *network.Network
 	NICs  []*nic.NIC
 	Hosts []*host.Host
+
+	// Tel is the world's metrics registry (never nil); Tracer and Phases
+	// mirror the Config fields (nil when not requested).
+	Tel    *telemetry.Registry
+	Tracer *telemetry.Tracer
+	Phases *telemetry.Phases
 
 	ranksLive int
 
@@ -84,16 +100,30 @@ func NewWorld(cfg Config) *World {
 		net.SetFaults(cfg.Faults)
 		cfg.NIC.Reliable = true
 	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	w := &World{
 		Eng:      eng,
 		Net:      net,
+		Tel:      reg,
+		Tracer:   cfg.Tracer,
+		Phases:   cfg.Phases,
 		nextCtx:  worldContext,
 		ctxTable: make(map[string]uint16),
 		boards:   make(map[string][]any),
 	}
+	if cfg.Phases != nil {
+		net.SetPhases(cfg.Phases)
+	}
+	telemetry.TraceEngine(eng, cfg.Tracer, 0)
 	for i := 0; i < cfg.Ranks; i++ {
 		nc := cfg.NIC
 		nc.ID = i
+		nc.Telemetry = reg
+		nc.Tracer = cfg.Tracer
+		nc.Phases = cfg.Phases
 		n := nic.New(eng, nc, net)
 		w.NICs = append(w.NICs, n)
 		w.Hosts = append(w.Hosts, host.New(eng, i, n))
@@ -102,15 +132,30 @@ func NewWorld(cfg Config) *World {
 		wd := sim.NewWatchdog(eng, cfg.WatchdogLimit, 0)
 		wd.Diag = func() string {
 			var b strings.Builder
-			fmt.Fprintf(&b, "faults: %v injected [%s]", cfg.Faults, net.FaultStats().String())
-			for _, n := range w.NICs {
-				b.WriteString("\n")
-				b.WriteString(n.Diag())
-			}
+			fmt.Fprintf(&b, "faults: %v injected [%s]\n", cfg.Faults, net.FaultStats().String())
+			b.WriteString(w.TelemetrySnapshot().Table())
 			return b.String()
 		}
 	}
 	return w
+}
+
+// TelemetrySnapshot harvests every component's counters into the world
+// registry and returns the frozen snapshot. Call after (or during) a run;
+// harvesting is idempotent.
+func (w *World) TelemetrySnapshot() telemetry.Snapshot {
+	for _, n := range w.NICs {
+		n.PublishTelemetry()
+	}
+	w.Net.Publish(w.Tel)
+	return w.Tel.Snapshot()
+}
+
+// MsgKey returns the latency-phase key of a COMM_WORLD message: the
+// packed envelope a send from rank src with the given tag puts on the
+// wire. Workloads stamp StampInject with it before the send.
+func MsgKey(src, tag int) uint64 {
+	return uint64(match.Pack(match.Header{Context: worldContext, Source: int32(src), Tag: int32(tag)}))
 }
 
 // Rank is the per-process MPI handle passed to application programs.

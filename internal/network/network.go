@@ -11,6 +11,7 @@ import (
 	"alpusim/internal/match"
 	"alpusim/internal/params"
 	"alpusim/internal/sim"
+	"alpusim/internal/telemetry"
 )
 
 // PacketKind distinguishes the protocol messages of the prototype MPI.
@@ -130,6 +131,19 @@ type Endpoint struct {
 	// duplicate, failed checksum, protocol control traffic, refused
 	// admission) — the NIC reliability engine hangs here.
 	Ingress func(Packet) bool
+
+	eng    *sim.Engine
+	phases *telemetry.Phases
+}
+
+// phaseKey returns the latency-breakdown key for packets that carry an
+// MPI envelope. Only Eager and RTS do; control and rendezvous-payload
+// traffic is not tracked per message.
+func phaseKey(p Packet) (uint64, bool) {
+	if p.Kind != Eager && p.Kind != RTS {
+		return 0, false
+	}
+	return uint64(match.Pack(p.Hdr)), true
 }
 
 // deliverNow runs one packet through the endpoint's receive path: the
@@ -138,6 +152,14 @@ type Endpoint struct {
 // by the FIFO); reliable NICs refuse admission in Ingress instead, so the
 // drop path is only reachable on raw unreliable endpoints.
 func (ep *Endpoint) deliverNow(p Packet) {
+	key, tracked := uint64(0), false
+	if ep.phases != nil {
+		if key, tracked = phaseKey(p); tracked {
+			// Arrive is stamped before the reliability ingress, Deliver
+			// only on FIFO admission; the gap is the recovery phase.
+			ep.phases.Stamp(key, telemetry.StampArrive, ep.eng.Now())
+		}
+	}
 	if ep.Ingress != nil && !ep.Ingress(p) {
 		return
 	}
@@ -145,6 +167,9 @@ func (ep *Endpoint) deliverNow(p Packet) {
 		ep.OnDeliver(p)
 	}
 	if ep.RxQ.Push(p) {
+		if tracked {
+			ep.phases.Stamp(key, telemetry.StampDeliver, ep.eng.Now())
+		}
 		ep.Arrived.Raise()
 	}
 }
@@ -161,6 +186,8 @@ type Network struct {
 	faults *FaultModel
 	frng   *frand
 	fstats FaultStats
+
+	phases *telemetry.Phases
 }
 
 // New builds a network of n endpoints with the calibrated wire latency and
@@ -178,9 +205,19 @@ func New(eng *sim.Engine, n int, wire sim.Time, bwBpns int) *Network {
 			ID:      i,
 			RxQ:     sim.NewFIFO[Packet](eng, fmt.Sprintf("net%d.rx", i), 0),
 			Arrived: sim.NewSignal(eng),
+			eng:     eng,
 		})
 	}
 	return net
+}
+
+// SetPhases installs a latency-phase recorder; the network stamps wire
+// transmit and arrival boundaries for envelope-carrying packets.
+func (n *Network) SetPhases(p *telemetry.Phases) {
+	n.phases = p
+	for _, ep := range n.endpoints {
+		ep.phases = p
+	}
 }
 
 // Endpoint returns endpoint i.
@@ -203,6 +240,14 @@ func (n *Network) Send(pkt Packet) {
 	pkt.Seq = n.seq
 
 	now := n.eng.Now()
+	if n.phases != nil {
+		// WireTx is stamped when the NIC hands the packet to the link, so
+		// transmit serialisation waits land in the wire phase. First-wins
+		// keeps retransmits from moving the stamp.
+		if key, ok := phaseKey(pkt); ok {
+			n.phases.Stamp(key, telemetry.StampWireTx, now)
+		}
+	}
 	start := now
 	if src.txBusyUntil > start {
 		start = src.txBusyUntil
@@ -226,3 +271,20 @@ func (n *Network) TxPackets(i int) uint64 { return n.endpoints[i].txPackets }
 
 // TxBytes reports bytes transmitted by endpoint i.
 func (n *Network) TxBytes(i int) uint64 { return n.endpoints[i].txBytes }
+
+// Publish harvests the network's counters into a telemetry registry:
+// injected-fault totals under net/faults and per-endpoint transmit
+// counters under net/ep<i>. Idempotent (counters are Set, not added).
+func (n *Network) Publish(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("net/faults/dropped").Set(n.fstats.Dropped)
+	reg.Counter("net/faults/duplicated").Set(n.fstats.Duplicated)
+	reg.Counter("net/faults/reordered").Set(n.fstats.Reordered)
+	reg.Counter("net/faults/corrupted").Set(n.fstats.Corrupted)
+	for i, ep := range n.endpoints {
+		reg.Counter(fmt.Sprintf("net/ep%d/tx_packets", i)).Set(ep.txPackets)
+		reg.Counter(fmt.Sprintf("net/ep%d/tx_bytes", i)).Set(ep.txBytes)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"alpusim/internal/params"
 	"alpusim/internal/proc"
 	"alpusim/internal/sim"
+	"alpusim/internal/telemetry"
 )
 
 // firmware is the NIC processor's main loop (§V-C): check the network for
@@ -40,8 +41,17 @@ func (n *NIC) firmware(p *sim.Process) {
 // handlePacket processes one incoming network packet.
 func (n *NIC) handlePacket(e *proc.Engine, pkt network.Packet) {
 	n.stats.PacketsHandled++
+	if n.tracer != nil {
+		start := e.Now()
+		defer func() {
+			n.tracer.Span(n.cfg.ID, tidFirmware, "fw", "pkt "+pkt.Kind.String(), start, e.Now())
+		}()
+	}
 	switch pkt.Kind {
 	case network.Eager, network.RTS:
+		if n.phases != nil {
+			n.phases.Stamp(uint64(match.Pack(pkt.Hdr)), telemetry.StampFwPop, e.Now())
+		}
 		if n.admittedHdrs > 0 {
 			// This header no longer counts against the reliability engine's
 			// unexpected-queue admission bound: from here it either matches
@@ -52,6 +62,9 @@ func (n *NIC) handlePacket(e *proc.Engine, pkt network.Packet) {
 		entry := n.matchPosted(e, pkt)
 		if entry != nil {
 			n.stats.PostedMatches++
+			if n.phases != nil {
+				n.phases.Stamp(uint64(match.Pack(pkt.Hdr)), telemetry.StampMatch, e.Now())
+			}
 			pr := entry.Req.(*postedRecv)
 			n.entryAlloc.put(entry.Addr)
 			n.deliverMatched(e, pkt, pr)
@@ -98,6 +111,7 @@ func (n *NIC) deliverMatched(e *proc.Engine, pkt network.Packet, pr *postedRecv)
 	if pkt.Kind == network.Eager {
 		done := n.dmaRx.Transfer(e.Now(), pkt.Size)
 		e.Cycles(params.CompletionCycles)
+		n.stampCompletion(pkt.Hdr, done)
 		n.complete(pr.req.ID, done, statusOf(pkt.Hdr, pkt.Size))
 		return
 	}
@@ -121,9 +135,19 @@ func (n *NIC) addUnexpected(e *proc.Engine, pkt network.Packet) {
 	n.appendEntry(e, &n.unexp, match.Pack(pkt.Hdr), match.FullMask, um)
 }
 
+var reqSpanNames = map[ReqKind]string{
+	ReqSend: "req send", ReqRecv: "req recv", ReqProbe: "req probe",
+}
+
 // handleHostReq processes one request from the main processor.
 func (n *NIC) handleHostReq(e *proc.Engine, req HostRequest) {
 	n.stats.HostReqsHandled++
+	if n.tracer != nil {
+		start := e.Now()
+		defer func() {
+			n.tracer.Span(n.cfg.ID, tidFirmware, "fw", reqSpanNames[req.Kind], start, e.Now())
+		}()
+	}
 	switch req.Kind {
 	case ReqSend:
 		e.Cycles(params.SendProcessCycles)
@@ -173,11 +197,15 @@ func (n *NIC) handleHostReq(e *proc.Engine, req HostRequest) {
 		}
 		n.stats.UnexpMatches++
 		um := entry.Req.(*unexMsg)
+		if n.phases != nil {
+			n.phases.Stamp(uint64(match.Pack(um.pkt.Hdr)), telemetry.StampMatch, e.Now())
+		}
 		n.entryAlloc.put(entry.Addr)
 		if um.pkt.Kind == network.Eager {
 			// Copy the buffered payload to the host buffer.
 			done := n.dmaRx.Transfer(e.Now(), um.pkt.Size)
 			e.Cycles(params.CompletionCycles)
+			n.stampCompletion(um.pkt.Hdr, done)
 			n.complete(req.ID, done, statusOf(um.pkt.Hdr, um.pkt.Size))
 			return
 		}

@@ -26,7 +26,7 @@ import (
 	"alpusim/internal/network"
 	"alpusim/internal/params"
 	"alpusim/internal/sim"
-	"alpusim/internal/stats"
+	"alpusim/internal/telemetry"
 	"alpusim/internal/trace"
 )
 
@@ -108,6 +108,16 @@ type Config struct {
 	// NIC refuses admission with RNR when it is full; a raw NIC drops the
 	// packet (counted by the FIFO).
 	RxQDepth int
+
+	// Telemetry is the world's metrics registry. The NIC registers its
+	// counters under "nic<ID>/..."; nil creates a private registry so the
+	// accessors below always work (standalone NICs in tests).
+	Telemetry *telemetry.Registry
+	// Tracer, when set, records firmware/ALPU/reliability activity as
+	// trace events under pid ID.
+	Tracer *telemetry.Tracer
+	// Phases, when set, receives per-message pipeline stamps.
+	Phases *telemetry.Phases
 }
 
 // Stats aggregates firmware activity for the benchmark reports.
@@ -141,8 +151,9 @@ type mirrorQueue struct {
 	nextTag uint32
 
 	// Instrumentation for the refs [8]/[9]-style queue studies: where
-	// matches land and how long the queue gets.
-	depths  trace.Histogram
+	// matches land and how long the queue gets. The histogram lives in
+	// the telemetry registry ("nic<ID>/<name>/match_depth").
+	depths  *telemetry.Histogram
 	peakLen int
 	// pending holds match results drained while awaiting an insert
 	// acknowledge, each stamped with the not-in-ALPU pointer value at the
@@ -214,17 +225,26 @@ type NIC struct {
 
 	stats Stats
 
-	// Reliability-engine state (reliability.go).
+	// Telemetry: the registry all counters live in (never nil — a private
+	// one is created when Config.Telemetry is unset), plus the optional
+	// tracer and phase recorder.
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+	phases *telemetry.Phases
+
+	// Reliability-engine state (reliability.go). The counters live in the
+	// registry under "nic<ID>/rel/..." (rel holds the cached handles).
 	relPeers     []*relPeer
-	rel          RelStats
+	rel          relCounters
 	rtoInit      sim.Time
 	rtoMax       sim.Time
 	admittedHdrs int // EAGER/RTS headers admitted but not yet processed
 
-	// Recoverable protocol errors (errors.go): counted per operation
-	// instead of panicking, with the most recent kept for diagnostics.
-	errs    stats.Counters
-	lastErr error
+	// Recoverable protocol errors (errors.go): counted per operation in
+	// the registry ("nic<ID>/err/<op>") instead of panicking, with the
+	// most recent kept for diagnostics.
+	errTotal uint64
+	lastErr  error
 }
 
 // addrAlloc is a bump allocator with LIFO reuse, approximating the
@@ -275,6 +295,23 @@ func New(eng *sim.Engine, cfg Config, net *network.Network) *NIC {
 		pendingSends: make(map[uint64]*sendState),
 		rndvStatus:   make(map[uint64]CompletionStatus),
 		entryAlloc:   addrAlloc{next: 0x1_0000, size: params.QueueEntryFullBytes},
+		reg:          cfg.Telemetry,
+		tracer:       cfg.Tracer,
+		phases:       cfg.Phases,
+	}
+	if n.reg == nil {
+		n.reg = telemetry.NewRegistry()
+	}
+	if n.tracer != nil {
+		n.tracer.NameProcess(cfg.ID, fmt.Sprintf("nic%d", cfg.ID))
+		n.tracer.NameThread(cfg.ID, tidFirmware, "firmware")
+		if cfg.UseALPU {
+			n.tracer.NameThread(cfg.ID, tidPostedALPU, "posted-alpu")
+			n.tracer.NameThread(cfg.ID, tidUnexpALPU, "unexp-alpu")
+		}
+		if cfg.Reliable {
+			n.tracer.NameThread(cfg.ID, tidReliability, "reliability")
+		}
 	}
 	if cfg.RxQDepth > 0 {
 		// Replace the endpoint's unbounded Rx FIFO with a bounded one: real
@@ -284,9 +321,11 @@ func New(eng *sim.Engine, cfg Config, net *network.Network) *NIC {
 	}
 	n.posted = newMirrorQueue("posted", cfg)
 	n.unexp = newMirrorQueue("unexp", cfg)
+	n.posted.depths = n.reg.Histogram(fmt.Sprintf("nic%d/posted/match_depth", cfg.ID))
+	n.unexp.depths = n.reg.Histogram(fmt.Sprintf("nic%d/unexp/match_depth", cfg.ID))
 	if cfg.UseALPU {
-		n.posted.dev = alpu.MustDevice(eng, fmt.Sprintf("nic%d.palpu", cfg.ID), n.alpuConfig(alpu.PostedReceives))
-		n.unexp.dev = alpu.MustDevice(eng, fmt.Sprintf("nic%d.ualpu", cfg.ID), n.alpuConfig(alpu.UnexpectedMessages))
+		n.posted.dev = alpu.MustDevice(eng, fmt.Sprintf("nic%d.palpu", cfg.ID), n.alpuConfig(alpu.PostedReceives, tidPostedALPU))
+		n.unexp.dev = alpu.MustDevice(eng, fmt.Sprintf("nic%d.ualpu", cfg.ID), n.alpuConfig(alpu.UnexpectedMessages, tidUnexpALPU))
 	}
 	// The hardware path of Fig. 1: every matchable header is replicated
 	// into the posted-receive ALPU's header FIFO at delivery time, before
@@ -318,16 +357,27 @@ func newMirrorQueue(name string, cfg Config) mirrorQueue {
 	return q
 }
 
-func (n *NIC) alpuConfig(v alpu.Variant) alpu.Config {
+// Trace-event thread ids within a NIC's pid track.
+const (
+	tidFirmware = iota
+	tidPostedALPU
+	tidUnexpALPU
+	tidReliability
+)
+
+func (n *NIC) alpuConfig(v alpu.Variant, tid int) alpu.Config {
+	c := alpu.DefaultConfig(v, n.cfg.Cells)
 	if n.cfg.ALPUConfig != nil {
-		c := *n.cfg.ALPUConfig
+		c = *n.cfg.ALPUConfig
 		c.Variant = v
 		if c.Geometry.Cells == 0 {
 			c.Geometry.Cells = n.cfg.Cells
 		}
-		return c
 	}
-	return alpu.DefaultConfig(v, n.cfg.Cells)
+	c.Tracer = n.tracer
+	c.TracePID = n.cfg.ID
+	c.TraceTID = tid
+	return c
 }
 
 // Config returns the NIC configuration.
@@ -336,9 +386,19 @@ func (n *NIC) Config() Config { return n.cfg }
 // Stats returns a snapshot of the firmware counters.
 func (n *NIC) Stats() Stats { return n.stats }
 
-// Errors returns the per-NIC recoverable protocol-error counters, keyed
-// by operation ("cts-unknown-send", "alpu-unknown-tag", ...).
-func (n *NIC) Errors() *stats.Counters { return &n.errs }
+// Registry returns the NIC's telemetry registry (the world's shared one,
+// or the private registry created when none was configured).
+func (n *NIC) Registry() *telemetry.Registry { return n.reg }
+
+// ErrorsTotal reports the recoverable protocol errors recorded so far,
+// across all operations.
+func (n *NIC) ErrorsTotal() uint64 { return n.errTotal }
+
+// ErrorCount reports the recoverable protocol errors recorded for one
+// operation ("cts-unknown-send", "alpu-unknown-tag", ...).
+func (n *NIC) ErrorCount(op string) uint64 {
+	return n.reg.Counter(fmt.Sprintf("nic%d/err/%s", n.cfg.ID, op)).Get()
+}
 
 // LastError returns the most recent recoverable protocol error, or nil.
 func (n *NIC) LastError() error { return n.lastErr }
@@ -347,16 +407,23 @@ func (n *NIC) LastError() error { return n.lastErr }
 // diagnostics, and the firmware carries on (true invariant violations
 // still panic).
 func (n *NIC) noteError(err *ProtocolError) {
-	n.errs.Add(err.Op, 1)
+	n.reg.Counter(fmt.Sprintf("nic%d/err/%s", n.cfg.ID, err.Op)).Inc()
+	n.errTotal++
 	n.lastErr = err
 }
 
-// PostedDepths returns the posted-receive match-depth histogram (how many
-// entries sat ahead of each match — the refs [8]/[9] metric).
-func (n *NIC) PostedDepths() *trace.Histogram { return &n.posted.depths }
+// PostedDepths returns a copy of the posted-receive match-depth histogram
+// (how many entries sat ahead of each match — the refs [8]/[9] metric).
+func (n *NIC) PostedDepths() *trace.Histogram {
+	h := n.posted.depths.Hist()
+	return &h
+}
 
-// UnexpDepths returns the unexpected-queue match-depth histogram.
-func (n *NIC) UnexpDepths() *trace.Histogram { return &n.unexp.depths }
+// UnexpDepths returns a copy of the unexpected-queue match-depth histogram.
+func (n *NIC) UnexpDepths() *trace.Histogram {
+	h := n.unexp.depths.Hist()
+	return &h
+}
 
 // PeakPostedLen reports the posted queue's high-water mark.
 func (n *NIC) PeakPostedLen() int { return n.posted.peakLen }
@@ -425,7 +492,64 @@ func statusOf(hdr match.Header, size int) CompletionStatus {
 // complete reports request completion to the host layer.
 func (n *NIC) complete(reqID uint64, at sim.Time, st CompletionStatus) {
 	n.stats.Completions++
+	if n.tracer != nil {
+		n.tracer.Instant(n.cfg.ID, tidFirmware, "mpi", "complete", n.eng.Now())
+	}
 	if n.Complete != nil {
 		n.Complete(reqID, at, st)
+	}
+}
+
+// stampCompletion records the Complete and HostDone phase stamps for a
+// matched message, mirroring the host layer's completion timing exactly:
+// the completion lands no earlier than the firmware's current time, and
+// the host observes it one host-bus crossing later (host.Request.DoneAt).
+func (n *NIC) stampCompletion(hdr match.Header, done sim.Time) {
+	if n.phases == nil {
+		return
+	}
+	at := done
+	if now := n.eng.Now(); at < now {
+		at = now
+	}
+	key := uint64(match.Pack(hdr))
+	n.phases.Stamp(key, telemetry.StampComplete, at)
+	n.phases.Stamp(key, telemetry.StampHostDone, at+params.HostBusLatency)
+}
+
+// PublishTelemetry harvests the NIC's struct counters into the registry
+// under "nic<ID>/...". Live counters (reliability, protocol errors,
+// match-depth histograms) already reside there; this publishes the
+// snapshot-time view of everything else. Idempotent.
+func (n *NIC) PublishTelemetry() {
+	pre := fmt.Sprintf("nic%d", n.cfg.ID)
+	s := n.stats
+	n.reg.Counter(pre + "/fw/packets_handled").Set(s.PacketsHandled)
+	n.reg.Counter(pre + "/fw/host_reqs_handled").Set(s.HostReqsHandled)
+	n.reg.Counter(pre + "/fw/entries_traversed").Set(s.EntriesTraversed)
+	n.reg.Counter(pre + "/fw/posted_matches").Set(s.PostedMatches)
+	n.reg.Counter(pre + "/fw/unexpected").Set(s.Unexpected)
+	n.reg.Counter(pre + "/fw/unexp_matches").Set(s.UnexpMatches)
+	n.reg.Counter(pre + "/fw/completions").Set(s.Completions)
+	n.reg.Counter(pre + "/fw/insert_episodes").Set(s.InsertEpisodes)
+	n.reg.Counter(pre + "/fw/alpu_posted_hits").Set(s.ALPUPostedHits)
+	n.reg.Counter(pre + "/fw/alpu_posted_misses").Set(s.ALPUPostedMisses)
+	n.reg.Counter(pre + "/fw/alpu_unexp_hits").Set(s.ALPUUnexpHits)
+	n.reg.Counter(pre + "/fw/alpu_unexp_misses").Set(s.ALPUUnexpMisses)
+	n.reg.Counter(pre + "/fw/alpu_inserts").Set(s.ALPUInserts)
+	n.reg.Counter(pre + "/fw/alpu_purges").Set(s.ALPUPurges)
+	n.reg.Counter(pre + "/rx/drops").Set(n.ep.RxQ.Drops())
+	n.reg.Gauge(pre + "/posted/peak_len").SetMax(int64(n.posted.peakLen))
+	n.reg.Gauge(pre + "/unexp/peak_len").SetMax(int64(n.unexp.peakLen))
+	n.reg.Gauge(pre + "/posted/len").Set(int64(n.queueLen(&n.posted)))
+	n.reg.Gauge(pre + "/unexp/len").Set(int64(n.queueLen(&n.unexp)))
+	n.reg.Gauge(pre + "/rxq/len").Set(int64(n.ep.RxQ.Len()))
+	n.reg.Gauge(pre + "/hostq/len").Set(int64(n.HostQ.Len()))
+	if n.posted.dev != nil {
+		n.posted.dev.Publish(n.reg, pre+"/alpu/posted")
+		n.unexp.dev.Publish(n.reg, pre+"/alpu/unexp")
+	}
+	if n.cfg.Reliable {
+		n.reg.Gauge(pre + "/rel/pending").Set(int64(n.RelPending()))
 	}
 }

@@ -311,8 +311,9 @@ func TestFallbackSearchPrefixFull(t *testing.T) {
 	if w.NICs[1].PostedLen() != posted-hits {
 		t.Errorf("posted queue length = %d, want %d", w.NICs[1].PostedLen(), posted-hits)
 	}
-	if errs := w.NICs[1].Errors().Total(); errs != 0 {
-		t.Errorf("recoverable errors recorded on a clean run: %v", w.NICs[1].Errors())
+	if errs := w.NICs[1].ErrorsTotal(); errs != 0 {
+		t.Errorf("recoverable errors recorded on a clean run: %d (last: %v)",
+			errs, w.NICs[1].LastError())
 	}
 }
 
@@ -362,8 +363,8 @@ func TestStaleCTSCountedNotFatal(t *testing.T) {
 	n := nic.New(eng, nic.Config{ID: 1}, net)
 	net.Send(network.Packet{Kind: network.CTS, Src: 0, Dst: 1, SenderReq: 42})
 	eng.Run()
-	if got := n.Errors().Get("cts-unknown-send"); got != 1 {
-		t.Errorf("cts-unknown-send counter = %d, want 1 (errors: %v)", got, n.Errors())
+	if got := n.ErrorCount("cts-unknown-send"); got != 1 {
+		t.Errorf("cts-unknown-send counter = %d, want 1 (total: %d)", got, n.ErrorsTotal())
 	}
 	err := n.LastError()
 	var perr *nic.ProtocolError

@@ -5,6 +5,7 @@ import (
 
 	"alpusim/internal/network"
 	"alpusim/internal/sim"
+	"alpusim/internal/telemetry"
 )
 
 // This file is the NIC's link reliability engine: a go-back-N protocol
@@ -38,7 +39,9 @@ import (
 // so the matching queues observe exactly the traffic a reliable network
 // would have produced.
 
-// RelStats counts reliability-engine activity for the chaos reports.
+// RelStats is a snapshot of the reliability-engine activity counters for
+// the chaos reports. The live counters reside in the telemetry registry
+// under "nic<ID>/rel/..."; Rel() reconstructs this struct from them.
 type RelStats struct {
 	DataSent    uint64 // data-plane packets given a sequence number
 	Retransmits uint64 // data-plane packets sent again
@@ -53,6 +56,25 @@ type RelStats struct {
 	DupDrops    uint64 // duplicate sequence numbers discarded
 	GapDrops    uint64 // out-of-order packets discarded (go-back-N)
 	Recoveries  uint64 // in-order resumptions after a discard episode
+}
+
+// relCounters caches the registry handles the reliability engine
+// increments on its hot paths (one map lookup each at relInit, none
+// afterwards).
+type relCounters struct {
+	dataSent    *telemetry.Counter
+	retransmits *telemetry.Counter
+	timeouts    *telemetry.Counter
+	acksSent    *telemetry.Counter
+	nacksSent   *telemetry.Counter
+	rnrSent     *telemetry.Counter
+	acksRecv    *telemetry.Counter
+	nacksRecv   *telemetry.Counter
+	rnrRecv     *telemetry.Counter
+	csumDrops   *telemetry.Counter
+	dupDrops    *telemetry.Counter
+	gapDrops    *telemetry.Counter
+	recoveries  *telemetry.Counter
 }
 
 // relPeer is the per-remote-NIC protocol state, split into the transmit
@@ -80,6 +102,22 @@ type relPeer struct {
 // relInit sizes the reliability state; called from New when enabled.
 func (n *NIC) relInit() {
 	n.relPeers = make([]*relPeer, n.net.Size())
+	pre := fmt.Sprintf("nic%d/rel/", n.cfg.ID)
+	n.rel = relCounters{
+		dataSent:    n.reg.Counter(pre + "data_sent"),
+		retransmits: n.reg.Counter(pre + "retransmits"),
+		timeouts:    n.reg.Counter(pre + "timeouts"),
+		acksSent:    n.reg.Counter(pre + "acks_sent"),
+		nacksSent:   n.reg.Counter(pre + "nacks_sent"),
+		rnrSent:     n.reg.Counter(pre + "rnr_sent"),
+		acksRecv:    n.reg.Counter(pre + "acks_recv"),
+		nacksRecv:   n.reg.Counter(pre + "nacks_recv"),
+		rnrRecv:     n.reg.Counter(pre + "rnr_recv"),
+		csumDrops:   n.reg.Counter(pre + "csum_drops"),
+		dupDrops:    n.reg.Counter(pre + "dup_drops"),
+		gapDrops:    n.reg.Counter(pre + "gap_drops"),
+		recoveries:  n.reg.Counter(pre + "recoveries"),
+	}
 	n.rtoInit = n.cfg.RelTimeout
 	if n.rtoInit <= 0 {
 		// Initial RTO: a round trip (two wire crossings) plus generous
@@ -116,7 +154,7 @@ func (n *NIC) send(pkt network.Packet) {
 	pkt.RelSeq = pr.nextSeq
 	pr.nextSeq++
 	pkt.Seal()
-	n.rel.DataSent++
+	n.rel.dataSent.Inc()
 	if len(pr.unacked) >= n.cfg.RelWindow {
 		pr.sendQ = append(pr.sendQ, pkt)
 		return
@@ -165,13 +203,19 @@ func (n *NIC) relTimeout(pr *relPeer) {
 	if len(pr.unacked) == 0 {
 		return
 	}
-	n.rel.Timeouts++
+	n.rel.timeouts.Inc()
+	if n.tracer != nil {
+		n.tracer.Instant(n.cfg.ID, tidReliability, "rel", "timeout", n.eng.Now())
+	}
 	pr.rto *= 2
 	if pr.rto > n.rtoMax {
 		pr.rto = n.rtoMax
 	}
 	for _, pkt := range pr.unacked {
-		n.rel.Retransmits++
+		n.rel.retransmits.Inc()
+		if n.tracer != nil {
+			n.tracer.Instant(n.cfg.ID, tidReliability, "rel", "retransmit", n.eng.Now())
+		}
 		n.net.Send(pkt)
 	}
 	n.armTimer(pr, pr.rto, func() { n.relTimeout(pr) })
@@ -182,7 +226,7 @@ func (n *NIC) relTimeout(pr *relPeer) {
 // Returning true hands the packet to the normal receive path.
 func (n *NIC) relIngress(pkt network.Packet) bool {
 	if !pkt.ChecksumOK() {
-		n.rel.CsumDrops++
+		n.rel.csumDrops.Inc()
 		if pkt.Kind != network.Ack && pkt.Kind != network.Nack && pkt.Kind != network.RNR {
 			n.peer(pkt.Src).stalled = true
 		}
@@ -190,15 +234,15 @@ func (n *NIC) relIngress(pkt network.Packet) bool {
 	}
 	switch pkt.Kind {
 	case network.Ack:
-		n.rel.AcksRecv++
+		n.rel.acksRecv.Inc()
 		n.handleAck(n.peer(pkt.Src), pkt.RelSeq)
 		return false
 	case network.Nack:
-		n.rel.NacksRecv++
+		n.rel.nacksRecv.Inc()
 		n.handleNack(n.peer(pkt.Src), pkt.RelSeq)
 		return false
 	case network.RNR:
-		n.rel.RNRRecv++
+		n.rel.rnrRecv.Inc()
 		n.handleRNR(n.peer(pkt.Src), pkt.RelSeq)
 		return false
 	}
@@ -208,17 +252,20 @@ func (n *NIC) relIngress(pkt network.Packet) bool {
 	case pkt.RelSeq < pr.expected:
 		// Duplicate (retransmit raced the ACK, or the network duplicated
 		// it): discard and re-ACK so the sender's window advances.
-		n.rel.DupDrops++
+		n.rel.dupDrops.Inc()
 		n.sendAckNow(pr)
 		return false
 	case pkt.RelSeq > pr.expected:
 		// Sequence gap: go-back-N discards everything past the gap and
 		// asks for the expected packet, once per gap episode.
-		n.rel.GapDrops++
+		n.rel.gapDrops.Inc()
 		pr.stalled = true
 		if pr.nackedFor != pr.expected {
 			pr.nackedFor = pr.expected
-			n.rel.NacksSent++
+			n.rel.nacksSent.Inc()
+			if n.tracer != nil {
+				n.tracer.Instant(n.cfg.ID, tidReliability, "rel", "nack", n.eng.Now())
+			}
 			n.sendCtl(network.Nack, pr.id, pr.expected)
 		}
 		return false
@@ -227,8 +274,11 @@ func (n *NIC) relIngress(pkt network.Packet) bool {
 	// In-order: admission control before the sequence advances, so a
 	// refused packet is simply retransmitted later.
 	if n.refuseAdmission(pkt) {
-		n.rel.RNRSent++
+		n.rel.rnrSent.Inc()
 		pr.stalled = true
+		if n.tracer != nil {
+			n.tracer.Instant(n.cfg.ID, tidReliability, "rel", "rnr", n.eng.Now())
+		}
 		n.sendCtl(network.RNR, pr.id, pkt.RelSeq)
 		return false
 	}
@@ -237,7 +287,10 @@ func (n *NIC) relIngress(pkt network.Packet) bool {
 	pr.nackedFor = 0
 	if pr.stalled {
 		pr.stalled = false
-		n.rel.Recoveries++
+		n.rel.recoveries.Inc()
+		if n.tracer != nil {
+			n.tracer.Instant(n.cfg.ID, tidReliability, "rel", "recovery", n.eng.Now())
+		}
 	}
 	if pkt.Kind == network.Eager || pkt.Kind == network.RTS {
 		n.admittedHdrs++
@@ -264,7 +317,7 @@ func (n *NIC) refuseAdmission(pkt network.Packet) bool {
 
 // sendAckNow cumulatively ACKs everything accepted so far from pr.
 func (n *NIC) sendAckNow(pr *relPeer) {
-	n.rel.AcksSent++
+	n.rel.acksSent.Inc()
 	n.sendCtl(network.Ack, pr.id, pr.expected-1)
 }
 
@@ -337,13 +390,33 @@ func (n *NIC) goBack(pr *relPeer, seq uint64) {
 		if pkt.RelSeq < seq {
 			continue
 		}
-		n.rel.Retransmits++
+		n.rel.retransmits.Inc()
+		if n.tracer != nil {
+			n.tracer.Instant(n.cfg.ID, tidReliability, "rel", "retransmit", n.eng.Now())
+		}
 		n.net.Send(pkt)
 	}
 }
 
-// Rel returns a snapshot of the reliability counters.
-func (n *NIC) Rel() RelStats { return n.rel }
+// Rel returns a snapshot of the reliability counters, reconstructed from
+// the registry handles (all zero for an unreliable NIC).
+func (n *NIC) Rel() RelStats {
+	return RelStats{
+		DataSent:    n.rel.dataSent.Get(),
+		Retransmits: n.rel.retransmits.Get(),
+		Timeouts:    n.rel.timeouts.Get(),
+		AcksSent:    n.rel.acksSent.Get(),
+		NacksSent:   n.rel.nacksSent.Get(),
+		RNRSent:     n.rel.rnrSent.Get(),
+		AcksRecv:    n.rel.acksRecv.Get(),
+		NacksRecv:   n.rel.nacksRecv.Get(),
+		RNRRecv:     n.rel.rnrRecv.Get(),
+		CsumDrops:   n.rel.csumDrops.Get(),
+		DupDrops:    n.rel.dupDrops.Get(),
+		GapDrops:    n.rel.gapDrops.Get(),
+		Recoveries:  n.rel.recoveries.Get(),
+	}
+}
 
 // RelPending reports outstanding transmit state (unacked + queued), for
 // drain assertions in tests and the watchdog diagnostic dump.
@@ -355,21 +428,4 @@ func (n *NIC) RelPending() int {
 		}
 	}
 	return total
-}
-
-// Diag renders the NIC's live state for watchdog diagnostic dumps: queue
-// occupancy, recoverable-error counters, and (when the reliability engine
-// runs) its protocol counters and outstanding transmit state.
-func (n *NIC) Diag() string {
-	s := fmt.Sprintf("nic%d: rxq=%d hostq=%d posted=%d unexp=%d errs[%s]",
-		n.cfg.ID, n.ep.RxQ.Len(), n.HostQ.Len(),
-		n.queueLen(&n.posted), n.queueLen(&n.unexp), n.errs.String())
-	if !n.cfg.Reliable {
-		return s
-	}
-	return s + fmt.Sprintf(
-		"\n  rel: sent=%d retx=%d timeouts=%d acks=%d/%d nacks=%d rnr=%d drops(csum/dup/gap)=%d/%d/%d pending=%d",
-		n.rel.DataSent, n.rel.Retransmits, n.rel.Timeouts,
-		n.rel.AcksSent, n.rel.AcksRecv, n.rel.NacksSent, n.rel.RNRSent,
-		n.rel.CsumDrops, n.rel.DupDrops, n.rel.GapDrops, n.RelPending())
 }

@@ -66,6 +66,12 @@ type Engine struct {
 	// Stats.
 	executed uint64
 
+	// pollers counts pending housekeeping events scheduled with
+	// SchedulePoll — watchdog checks, telemetry samplers. They are
+	// excluded from Alive so that pollers watching each other cannot keep
+	// a drained world running forever.
+	pollers int
+
 	procs []*Process
 }
 
@@ -162,6 +168,23 @@ func (e *Engine) Cancel(id EventID) bool {
 
 // Pending reports the number of scheduled events.
 func (e *Engine) Pending() int { return e.events.Len() }
+
+// SchedulePoll is Schedule for self-re-arming housekeeping events that
+// observe the world rather than model it. Pollers must re-arm only while
+// Alive() > 0; the bookkeeping lives in the wrapper closure, so the
+// Step/Schedule hot path is untouched.
+func (e *Engine) SchedulePoll(d Time, fn func()) {
+	e.pollers++
+	e.Schedule(d, func() {
+		e.pollers--
+		fn()
+	})
+}
+
+// Alive reports the pending events that represent modelled work —
+// Pending minus outstanding pollers. When it reaches zero nothing can
+// ever happen again in the world, no matter how long pollers poll.
+func (e *Engine) Alive() int { return e.events.Len() - e.pollers }
 
 // Step executes the single earliest event. It reports false when no events
 // remain.

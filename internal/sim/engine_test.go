@@ -284,3 +284,46 @@ func TestEngineRandomOpsProperty(t *testing.T) {
 		e.Run()
 	}
 }
+
+// Two self-re-arming pollers must not keep each other (or an empty
+// world) alive: Alive excludes poller events, so both stop as soon as
+// the modelled work drains.
+func TestPollersDoNotKeepWorldAlive(t *testing.T) {
+	eng := NewEngine()
+	mkPoller := func(period Time) {
+		var poll func()
+		poll = func() {
+			if eng.Alive() > 0 {
+				eng.SchedulePoll(period, poll)
+			}
+		}
+		eng.SchedulePoll(0, poll)
+	}
+	mkPoller(Microsecond)
+	mkPoller(3 * Microsecond)
+	// Real work: a chain of 5 events 10us apart.
+	work, hops := Time(0), 0
+	var step func()
+	step = func() {
+		hops++
+		if hops < 5 {
+			eng.Schedule(10*Microsecond, step)
+		}
+	}
+	eng.Schedule(0, step)
+	work = 4 * 10 * Microsecond
+	eng.Run()
+	if hops != 5 {
+		t.Fatalf("work did not complete: %d hops", hops)
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("pollers still pending after drain: %d", eng.Pending())
+	}
+	// Pollers may overshoot the last event by at most one period.
+	if eng.Now() > work+3*Microsecond {
+		t.Errorf("pollers kept the clock running: now=%v", eng.Now())
+	}
+	if eng.Alive() != 0 {
+		t.Errorf("Alive = %d after drain", eng.Alive())
+	}
+}

@@ -52,7 +52,7 @@ func NewWatchdog(eng *Engine, limit, interval Time) *Watchdog {
 		interval = limit
 	}
 	w := &Watchdog{eng: eng, limit: limit, interval: interval}
-	eng.Schedule(interval, w.check)
+	eng.SchedulePoll(interval, w.check)
 	return w
 }
 
@@ -76,11 +76,12 @@ func (w *Watchdog) check() {
 		}
 		panic(err)
 	}
-	// Re-arm only while the world is still alive: with no other pending
-	// events nothing can ever happen again, so the watchdog must not keep
-	// the event loop running by itself.
-	if w.eng.Pending() > 0 {
-		w.eng.Schedule(w.interval, w.check)
+	// Re-arm only while the world is still alive: with no modelled events
+	// pending nothing can ever happen again, so the watchdog must not keep
+	// the event loop running by itself (or trade keep-alives with another
+	// poller, like the telemetry engine sampler).
+	if w.eng.Alive() > 0 {
+		w.eng.SchedulePoll(w.interval, w.check)
 	}
 }
 

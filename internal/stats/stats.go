@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -21,18 +22,29 @@ func NewTable(header ...string) *Table {
 	return &Table{header: header}
 }
 
-// AddRow appends a row; values are formatted with %v.
+// AddRow appends a row; values are formatted with %v, except float64,
+// which gets value-aware precision via FormatFloat.
 func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			row[i] = fmt.Sprintf("%.1f", v)
+			row[i] = FormatFloat(v)
 		default:
 			row[i] = fmt.Sprint(v)
 		}
 	}
 	t.rows = append(t.rows, row)
+}
+
+// FormatFloat picks a precision that neither collapses small magnitudes
+// to "0.0" nor decorates large ones with noise digits: |v| < 10 keeps
+// four significant digits, anything else one decimal.
+func FormatFloat(v float64) string {
+	if v != 0 && math.Abs(v) < 10 {
+		return fmt.Sprintf("%.4g", v)
+	}
+	return fmt.Sprintf("%.1f", v)
 }
 
 // Render writes the aligned table to w.
@@ -88,63 +100,6 @@ func CSV(w io.Writer, header []string, rows [][]any) {
 		}
 		fmt.Fprintln(w, strings.Join(parts, ","))
 	}
-}
-
-// Counters is a named-counter set with deterministic (insertion-ordered)
-// iteration, used for the per-NIC protocol-error and reliability counters:
-// recoverable faults are counted here instead of panicking, and reports
-// render the set in a stable order so chaos runs diff cleanly.
-type Counters struct {
-	names []string
-	vals  map[string]uint64
-}
-
-// Add increments counter name by n (creating it at first touch).
-func (c *Counters) Add(name string, n uint64) {
-	if c.vals == nil {
-		c.vals = make(map[string]uint64)
-	}
-	if _, ok := c.vals[name]; !ok {
-		c.names = append(c.names, name)
-	}
-	c.vals[name] += n
-}
-
-// Get returns the value of counter name (0 if never touched).
-func (c *Counters) Get(name string) uint64 { return c.vals[name] }
-
-// Names returns the counter names in first-touch order.
-func (c *Counters) Names() []string { return c.names }
-
-// Total sums all counters.
-func (c *Counters) Total() uint64 {
-	var t uint64
-	for _, v := range c.vals {
-		t += v
-	}
-	return t
-}
-
-// Merge folds other into c (first-touch order of c, then of other).
-func (c *Counters) Merge(other *Counters) {
-	if other == nil {
-		return
-	}
-	for _, name := range other.names {
-		c.Add(name, other.vals[name])
-	}
-}
-
-// String renders "name=value" pairs in first-touch order, or "none".
-func (c *Counters) String() string {
-	if len(c.names) == 0 {
-		return "none"
-	}
-	parts := make([]string, len(c.names))
-	for i, name := range c.names {
-		parts[i] = fmt.Sprintf("%s=%d", name, c.vals[name])
-	}
-	return strings.Join(parts, " ")
 }
 
 // Summary holds min/max/mean of a float series.

@@ -69,35 +69,32 @@ func TestLinearFit(t *testing.T) {
 	}
 }
 
-func TestCounters(t *testing.T) {
-	var c Counters
-	if got := c.String(); got != "none" {
-		t.Fatalf("empty Counters String = %q", got)
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0.0"},         // exact zero stays the classic rendering
+		{112.5, "112.5"},   // large values keep one decimal
+		{100.62, "100.6"},  //
+		{-42.04, "-42.0"},  //
+		{0.0421, "0.0421"}, // small values keep four significant digits
+		{1.2345, "1.234"},  //
+		{-0.00037, "-0.00037"},
+		{9.9994, "9.999"},
 	}
-	if c.Get("missing") != 0 {
-		t.Fatal("missing counter not zero")
+	for _, c := range cases {
+		if got := FormatFloat(c.v); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
 	}
-	c.Add("b", 2)
-	c.Add("a", 1)
-	c.Add("b", 3)
-	if got := c.Get("b"); got != 5 {
-		t.Fatalf("b = %d, want 5", got)
-	}
-	if got := c.String(); got != "b=5 a=1" {
-		t.Fatalf("String = %q, want first-touch order", got)
-	}
-	if got := c.Total(); got != 6 {
-		t.Fatalf("Total = %d, want 6", got)
-	}
-	var d Counters
-	d.Add("c", 7)
-	d.Add("a", 1)
-	c.Merge(&d)
-	c.Merge(nil)
-	if got := c.String(); got != "b=5 a=2 c=7" {
-		t.Fatalf("merged String = %q", got)
-	}
-	if got := len(c.Names()); got != 3 {
-		t.Fatalf("Names len = %d", got)
+}
+
+func TestAddRowPrecision(t *testing.T) {
+	// Regression: per-entry slopes like 0.042 ns used to collapse to "0.0".
+	tb := NewTable("name", "slope")
+	tb.AddRow("baseline", 0.0421)
+	if out := tb.String(); !strings.Contains(out, "0.0421") {
+		t.Errorf("small float collapsed:\n%s", out)
 	}
 }

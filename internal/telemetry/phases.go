@@ -1,0 +1,213 @@
+package telemetry
+
+import "alpusim/internal/sim"
+
+// The latency phase breakdown tags a message at injection and stamps it
+// at each pipeline boundary as it flows sender-host -> wire -> rx FIFO ->
+// firmware -> match engine -> completion -> host. Phases are the deltas
+// between consecutive stamps, so by construction they telescope: the
+// phase columns sum exactly to the end-to-end latency.
+//
+// Stamps (in pipeline order):
+//
+//	Inject   sender host posts the send (optional; workload-level)
+//	WireTx   sender NIC puts the first bit on the wire
+//	Arrive   packet reaches the receiver endpoint
+//	Deliver  packet admitted to the rx FIFO (post-reliability)
+//	FwPop    receiver firmware pops the packet
+//	Match    match resolved (posted hit or unexpected claim)
+//	Complete payload landed, completion raised to the host
+//	HostDone host observes the completion (request DoneAt)
+//
+// Derived phases:
+//
+//	inject   = WireTx - Inject     send-side host+NIC processing
+//	wire     = Arrive - WireTx     serialization + wire latency
+//	recovery = Deliver - Arrive    reliability delay (retx, reorder, RNR)
+//	rxfifo   = FwPop - Deliver     waiting in the rx FIFO for firmware
+//	search   = Match - FwPop       header processing + queue search
+//	deliver  = Complete - Match    payload DMA + completion write
+//	host     = HostDone - Complete host bus crossing
+//
+// Stamping is first-wins per (message, stamp): a retransmitted packet
+// re-arrives but only its first Arrive counts, and the extra delay shows
+// up in the recovery phase — exactly where it belongs.
+
+// Stamp identifies a pipeline boundary.
+type Stamp int
+
+// Pipeline boundary stamps, in order.
+const (
+	StampInject Stamp = iota
+	StampWireTx
+	StampArrive
+	StampDeliver
+	StampFwPop
+	StampMatch
+	StampComplete
+	StampHostDone
+	numStamps
+)
+
+// Phase identifies a delta between consecutive stamps.
+type Phase int
+
+// Phases, in pipeline order. Phase p spans stamp p+1 - stamp p.
+const (
+	PhaseInject Phase = iota
+	PhaseWire
+	PhaseRecovery
+	PhaseRxFIFO
+	PhaseSearch
+	PhaseDeliver
+	PhaseHost
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"inject", "wire", "recovery", "rxfifo", "search", "deliver", "host",
+}
+
+// String returns the phase's short report name.
+func (p Phase) String() string {
+	if p < 0 || p >= NumPhases {
+		return "?"
+	}
+	return phaseNames[p]
+}
+
+type phaseRec struct {
+	t    [numStamps]sim.Time
+	seen uint16
+}
+
+// Phases records per-message pipeline stamps for one simulated world.
+// Messages are keyed by their packed match bits (mpi.MsgKey); a nil
+// *Phases is a valid no-op recorder.
+type Phases struct {
+	recs map[uint64]*phaseRec
+	keys []uint64 // first-stamp order, for deterministic iteration
+}
+
+// NewPhases returns an empty recorder.
+func NewPhases() *Phases { return &Phases{recs: make(map[uint64]*phaseRec)} }
+
+// Stamp records the simulated time of a pipeline boundary for a message.
+// First-wins: re-stamping the same (key, stamp) — a retransmit, a
+// duplicate delivery — is ignored.
+func (p *Phases) Stamp(key uint64, s Stamp, at sim.Time) {
+	if p == nil || s < 0 || s >= numStamps {
+		return
+	}
+	r := p.recs[key]
+	if r == nil {
+		r = &phaseRec{}
+		p.recs[key] = r
+		p.keys = append(p.keys, key)
+	}
+	if r.seen&(1<<uint(s)) != 0 {
+		return
+	}
+	r.seen |= 1 << uint(s)
+	r.t[s] = at
+}
+
+// Breakdown is one message's per-phase durations. Durs telescopes:
+// sum(Durs) == Total == HostDone - start, where start is Inject when
+// stamped and WireTx otherwise (pre-posted receives have no workload
+// inject stamp).
+type Breakdown struct {
+	Durs  [NumPhases]sim.Time
+	Total sim.Time
+}
+
+// needMask is the stamps a completed message must have: everything from
+// WireTx through HostDone. Inject is optional.
+const needMask = (1<<uint(numStamps) - 1) &^ (1 << uint(StampInject))
+
+// Breakdown returns the phase breakdown for a message, or ok=false if
+// the message never completed the pipeline (e.g. a rendezvous transfer,
+// which the recorder does not track end to end).
+func (p *Phases) Breakdown(key uint64) (Breakdown, bool) {
+	if p == nil {
+		return Breakdown{}, false
+	}
+	r := p.recs[key]
+	if r == nil || r.seen&needMask != needMask {
+		return Breakdown{}, false
+	}
+	var b Breakdown
+	start := r.t[StampInject]
+	if r.seen&(1<<uint(StampInject)) == 0 {
+		start = r.t[StampWireTx]
+	}
+	prev := start
+	for s := StampWireTx; s < numStamps; s++ {
+		d := r.t[s] - prev
+		if d < 0 {
+			d = 0
+		}
+		b.Durs[Phase(s-1)] = d
+		prev = r.t[s]
+	}
+	b.Total = r.t[StampHostDone] - start
+	return b, true
+}
+
+// Totals aggregates breakdowns across messages (and, via Merge, across
+// worlds).
+type Totals struct {
+	Messages uint64
+	Durs     [NumPhases]sim.Time
+	Total    sim.Time
+}
+
+// Totals sums the breakdowns of every completed message, in first-stamp
+// order.
+func (p *Phases) Totals() Totals {
+	var t Totals
+	if p == nil {
+		return t
+	}
+	for _, key := range p.keys {
+		b, ok := p.Breakdown(key)
+		if !ok {
+			continue
+		}
+		t.add(b)
+	}
+	return t
+}
+
+func (t *Totals) add(b Breakdown) {
+	t.Messages++
+	for i := range b.Durs {
+		t.Durs[i] += b.Durs[i]
+	}
+	t.Total += b.Total
+}
+
+// Merge folds other into t.
+func (t *Totals) Merge(other Totals) {
+	t.Messages += other.Messages
+	for i := range other.Durs {
+		t.Durs[i] += other.Durs[i]
+	}
+	t.Total += other.Total
+}
+
+// MeanNs returns the mean duration of one phase in nanoseconds.
+func (t Totals) MeanNs(p Phase) float64 {
+	if t.Messages == 0 {
+		return 0
+	}
+	return float64(t.Durs[p]) / float64(t.Messages) / float64(sim.Nanosecond)
+}
+
+// MeanTotalNs returns the mean end-to-end latency in nanoseconds.
+func (t Totals) MeanTotalNs() float64 {
+	if t.Messages == 0 {
+		return 0
+	}
+	return float64(t.Total) / float64(t.Messages) / float64(sim.Nanosecond)
+}

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"alpusim/internal/sim"
+)
+
+// Tracer records simulated-clock events in the Chrome trace-event JSON
+// format, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Events carry the simulation timestamp, so the rendered timeline is the
+// hardware's view of time, not wall clock.
+//
+// A nil *Tracer is a valid no-op recorder: every method returns
+// immediately, so instrumentation sites cost one nil check when tracing
+// is off. Events append in call order, which for a deterministic
+// simulation means the byte stream is identical across runs.
+type Tracer struct {
+	events []tevent
+	names  []tname
+}
+
+type tevent struct {
+	ph       byte // 'X' span, 'i' instant, 'C' counter
+	name     string
+	cat      string
+	pid, tid int
+	ts, dur  sim.Time
+	val      int64
+}
+
+type tname struct {
+	process  bool // process_name vs thread_name metadata
+	pid, tid int
+	name     string
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// NameProcess attaches a display name to a pid track (e.g. "nic0").
+func (t *Tracer) NameProcess(pid int, name string) {
+	if t != nil {
+		t.names = append(t.names, tname{process: true, pid: pid, name: name})
+	}
+}
+
+// NameThread attaches a display name to a (pid, tid) track
+// (e.g. "firmware", "posted-alpu").
+func (t *Tracer) NameThread(pid, tid int, name string) {
+	if t != nil {
+		t.names = append(t.names, tname{pid: pid, tid: tid, name: name})
+	}
+}
+
+// Span records a complete event from start to end simulated time.
+func (t *Tracer) Span(pid, tid int, cat, name string, start, end sim.Time) {
+	if t == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	t.events = append(t.events, tevent{ph: 'X', name: name, cat: cat,
+		pid: pid, tid: tid, ts: start, dur: end - start})
+}
+
+// Instant records a point event (rendered as a marker).
+func (t *Tracer) Instant(pid, tid int, cat, name string, at sim.Time) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, tevent{ph: 'i', name: name, cat: cat,
+		pid: pid, tid: tid, ts: at})
+}
+
+// Count records a counter sample (rendered as a stepped graph).
+func (t *Tracer) Count(pid, tid int, name string, at sim.Time, v int64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, tevent{ph: 'C', name: name,
+		pid: pid, tid: tid, ts: at, val: v})
+}
+
+// Len returns the number of recorded events (0 for nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// WriteJSON writes this tracer's events as a Chrome trace-event JSON
+// array.
+func (t *Tracer) WriteJSON(w io.Writer) error { return WriteTrace(w, t) }
+
+// WriteTrace writes one JSON trace combining several tracers (one per
+// simulated world). Each tracer's pids are offset by its index so
+// independent worlds render as separate process groups; tracers merge in
+// argument order, so sweeps that collect per-world tracers in
+// enumeration order emit identical bytes at any parallelism.
+func WriteTrace(w io.Writer, tracers ...*Tracer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[")
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteString(",\n")
+		} else {
+			bw.WriteString("\n")
+			first = false
+		}
+		bw.WriteString(s)
+	}
+	for idx, t := range tracers {
+		if t == nil {
+			continue
+		}
+		// Offset keeps distinct worlds' pids disjoint; a single tracer
+		// (idx 0) keeps its pids as recorded.
+		off := idx << 16
+		for _, n := range t.names {
+			kind := "thread_name"
+			tidField := fmt.Sprintf(`,"tid":%d`, n.tid)
+			if n.process {
+				kind = "process_name"
+				tidField = ""
+			}
+			emit(fmt.Sprintf(`{"name":%q,"ph":"M","pid":%d%s,"args":{"name":%s}}`,
+				kind, n.pid+off, tidField, strconv.Quote(n.name)))
+		}
+		for _, e := range t.events {
+			switch e.ph {
+			case 'X':
+				emit(fmt.Sprintf(`{"name":%s,"cat":%q,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d}`,
+					strconv.Quote(e.name), e.cat, usec(e.ts), usec(e.dur), e.pid+off, e.tid))
+			case 'i':
+				emit(fmt.Sprintf(`{"name":%s,"cat":%q,"ph":"i","s":"t","ts":%s,"pid":%d,"tid":%d}`,
+					strconv.Quote(e.name), e.cat, usec(e.ts), e.pid+off, e.tid))
+			case 'C':
+				emit(fmt.Sprintf(`{"name":%s,"ph":"C","ts":%s,"pid":%d,"tid":%d,"args":{"v":%d}}`,
+					strconv.Quote(e.name), usec(e.ts), e.pid+off, e.tid, e.val))
+			}
+		}
+	}
+	bw.WriteString("\n]\n")
+	return bw.Flush()
+}
+
+// usec renders a picosecond simulated time as the trace format's
+// microsecond timestamp, exactly (6 decimal digits, no float rounding).
+func usec(t sim.Time) string {
+	if t < 0 {
+		t = 0
+	}
+	return fmt.Sprintf("%d.%06d", t/sim.Microsecond, t%sim.Microsecond)
+}
+
+// TraceEngine samples the engine's pending-event and executed-event
+// counters onto tracer counter tracks every `every` of simulated time,
+// under a reserved pid. Sampling re-arms only while events remain, so it
+// never keeps a drained world alive. It costs nothing when t is nil.
+func TraceEngine(eng *sim.Engine, t *Tracer, every sim.Time) {
+	if t == nil || eng == nil {
+		return
+	}
+	if every <= 0 {
+		every = sim.Microsecond
+	}
+	const pid = 999
+	t.NameProcess(pid, "sim-engine")
+	var sample func()
+	sample = func() {
+		t.Count(pid, 0, "pending", eng.Now(), int64(eng.Pending()))
+		t.Count(pid, 0, "executed", eng.Now(), int64(eng.Executed()))
+		if eng.Alive() > 0 {
+			eng.SchedulePoll(every, sample)
+		}
+	}
+	eng.SchedulePoll(0, sample)
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"alpusim/internal/sim"
+)
+
+func TestTracerWriteJSON(t *testing.T) {
+	tr := NewTracer()
+	tr.NameProcess(0, "nic0")
+	tr.NameThread(0, 1, "posted-alpu")
+	tr.Span(0, 1, "alpu", "search", 1_234_567, 2_000_000)
+	tr.Instant(0, 3, "rel", "retransmit", 3*sim.Microsecond)
+	tr.Count(999, 0, "pending", 0, 42)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (metadata is separate)", tr.Len())
+	}
+
+	var b bytes.Buffer
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	var events []map[string]any
+	if err := json.Unmarshal(b.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, out)
+	}
+	if len(events) != 5 {
+		t.Fatalf("got %d events, want 5 (2 metadata + 3)", len(events))
+	}
+	// Metadata first, then events in call order.
+	if events[0]["ph"] != "M" || events[1]["ph"] != "M" {
+		t.Errorf("metadata not first: %v", events[:2])
+	}
+	if events[2]["ph"] != "X" || events[3]["ph"] != "i" || events[4]["ph"] != "C" {
+		t.Errorf("event order/kinds wrong: %v", events[2:])
+	}
+	// Timestamps are exact microseconds with six decimals (1234567 ps).
+	if !strings.Contains(out, `"ts":1.234567`) {
+		t.Errorf("ps->us timestamp not exact:\n%s", out)
+	}
+	if !strings.Contains(out, `"dur":0.765433`) {
+		t.Errorf("span duration wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `"s":"t"`) {
+		t.Error("instant missing thread scope")
+	}
+}
+
+func TestSpanClampsBackwardsEnd(t *testing.T) {
+	tr := NewTracer()
+	tr.Span(0, 0, "c", "n", 100, 50)
+	var b bytes.Buffer
+	tr.WriteJSON(&b)
+	if !strings.Contains(b.String(), `"dur":0.000000`) {
+		t.Errorf("backwards span not clamped:\n%s", b.String())
+	}
+}
+
+// WriteTrace offsets the second tracer's pids so two worlds' tracks stay
+// disjoint, and skips nil tracers.
+func TestWriteTraceMergesWorlds(t *testing.T) {
+	t1 := NewTracer()
+	t1.Instant(1, 0, "c", "a", 0)
+	t2 := NewTracer()
+	t2.Instant(1, 0, "c", "b", 0)
+	var b bytes.Buffer
+	if err := WriteTrace(&b, t1, nil, t2); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(b.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if p0, p1 := events[0]["pid"].(float64), events[1]["pid"].(float64); p0 != 1 || p1 != float64(1+2<<16) {
+		t.Errorf("pids = %v, %v; want 1 and %d", p0, p1, 1+2<<16)
+	}
+}
+
+func TestWriteTraceEmpty(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(b.Bytes(), &events); err != nil {
+		t.Fatalf("empty trace invalid: %v (%q)", err, b.String())
+	}
+	if len(events) != 0 {
+		t.Errorf("empty trace has %d events", len(events))
+	}
+}
+
+// TraceEngine samples the scheduler's counters while events remain and
+// stops re-arming once the world drains.
+func TestTraceEngine(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewTracer()
+	TraceEngine(eng, tr, sim.Microsecond)
+	for i := 0; i < 5; i++ {
+		eng.Schedule(sim.Time(i)*sim.Microsecond, func() {})
+	}
+	eng.Run()
+	if tr.Len() < 4 {
+		t.Fatalf("engine sampler recorded %d events, want several", tr.Len())
+	}
+	var b bytes.Buffer
+	tr.WriteJSON(&b)
+	if !strings.Contains(b.String(), `"name":"pending"`) ||
+		!strings.Contains(b.String(), `"name":"executed"`) {
+		t.Errorf("sampler counters missing:\n%s", b.String())
+	}
+	// nil tracer: no events scheduled, engine drains untouched.
+	eng2 := sim.NewEngine()
+	TraceEngine(eng2, nil, 0)
+	if eng2.Pending() != 0 {
+		t.Error("nil tracer still scheduled sampler events")
+	}
+}

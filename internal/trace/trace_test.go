@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -131,5 +132,65 @@ func TestSeriesSmall(t *testing.T) {
 	s.Add(2, 20)
 	if s.Len() != 2 || s.MaxValue() != 20 {
 		t.Fatalf("Len=%d Max=%d", s.Len(), s.MaxValue())
+	}
+}
+
+// Every bucket edge is the inclusive upper bound of its own bucket:
+// adding the edge value twice stays in one bucket, and edge+1 spills
+// into the next (4096+1 into the overflow bucket).
+func TestHistogramBucketEdgePlacement(t *testing.T) {
+	edges := []int{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
+	for _, e := range edges {
+		var h Histogram
+		h.Add(e)
+		h.Add(e)
+		bs := h.Buckets()
+		if len(bs) != 1 || bs[0].Count != 2 {
+			t.Fatalf("Add(%d) x2: buckets = %+v, want one bucket of 2", e, bs)
+		}
+		if want := fmt.Sprint(e); !strings.HasSuffix(bs[0].Label, want) {
+			t.Errorf("Add(%d) bucket label = %q, want upper bound %s", e, bs[0].Label, want)
+		}
+		var h2 Histogram
+		h2.Add(e)
+		h2.Add(e + 1)
+		if bs := h2.Buckets(); len(bs) != 2 {
+			t.Errorf("Add(%d), Add(%d): buckets = %+v, want two buckets", e, e+1, bs)
+		}
+	}
+	var h Histogram
+	h.Add(4097)
+	if bs := h.Buckets(); len(bs) != 1 || bs[0].Label != ">4096" {
+		t.Errorf("overflow buckets = %+v", h.Buckets())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Add(1)
+	a.Add(5)
+	b.Add(300)
+	b.Add(2)
+	a.Merge(&b)
+	if a.N() != 4 {
+		t.Errorf("merged N = %d, want 4", a.N())
+	}
+	if a.Max() != 300 {
+		t.Errorf("merged Max = %d, want 300", a.Max())
+	}
+	if want := float64(1+5+300+2) / 4; a.Mean() != want {
+		t.Errorf("merged Mean = %v, want %v (sum not propagated)", a.Mean(), want)
+	}
+	var sum uint64
+	for _, bk := range a.Buckets() {
+		sum += bk.Count
+	}
+	if sum != 4 {
+		t.Errorf("merged bucket counts sum to %d, want 4", sum)
+	}
+	var empty Histogram
+	a.Merge(&empty)
+	if a.N() != 4 || a.Max() != 300 {
+		t.Error("merging an empty histogram changed the receiver")
 	}
 }

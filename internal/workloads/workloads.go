@@ -16,6 +16,7 @@ import (
 	"alpusim/internal/network"
 	"alpusim/internal/nic"
 	"alpusim/internal/sim"
+	"alpusim/internal/telemetry"
 	"alpusim/internal/trace"
 )
 
@@ -33,6 +34,22 @@ func WithFaults(fm *network.FaultModel) Option {
 // panics with a diagnostic dump instead of hanging.
 func WithWatchdog(limit sim.Time) Option {
 	return func(cfg *mpi.Config) { cfg.WatchdogLimit = limit }
+}
+
+// WithTelemetry runs the workload against an externally owned metrics
+// registry (one per world — see telemetry.Registry).
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(cfg *mpi.Config) { cfg.Telemetry = reg }
+}
+
+// WithTracer records the workload's run as Chrome trace events.
+func WithTracer(t *telemetry.Tracer) Option {
+	return func(cfg *mpi.Config) { cfg.Tracer = t }
+}
+
+// WithPhases records per-message latency pipeline stamps.
+func WithPhases(p *telemetry.Phases) Option {
+	return func(cfg *mpi.Config) { cfg.Phases = p }
 }
 
 // Report summarises one workload run.
@@ -59,6 +76,11 @@ type Report struct {
 	RNRSent        uint64
 	Recoveries     uint64
 	ProtocolErrors uint64
+
+	// Telemetry is the world's harvested metrics snapshot; every world
+	// owns a registry (WithTelemetry substitutes an external one), so
+	// this is populated on every run.
+	Telemetry telemetry.Snapshot
 }
 
 func (r Report) String() string {
@@ -88,9 +110,10 @@ func gather(name string, w *mpi.World, elapsed sim.Time) Report {
 		rep.NacksSent += rel.NacksSent
 		rep.RNRSent += rel.RNRSent
 		rep.Recoveries += rel.Recoveries
-		rep.ProtocolErrors += n.Errors().Total()
+		rep.ProtocolErrors += n.ErrorsTotal()
 	}
 	rep.FaultsInjected = w.Net.FaultStats().Total()
+	rep.Telemetry = w.TelemetrySnapshot()
 	return rep
 }
 
