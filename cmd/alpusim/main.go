@@ -51,6 +51,7 @@ import (
 	"alpusim/internal/network"
 	"alpusim/internal/nic"
 	"alpusim/internal/params"
+	"alpusim/internal/profiling"
 	"alpusim/internal/stats"
 	"alpusim/internal/telemetry"
 )
@@ -66,6 +67,9 @@ var (
 	faultSeed  = flag.Int64("seed", 1, "fault-injection seed (same seed => byte-identical run)")
 	tracePath  = flag.String("trace", "", "phases experiment: write Chrome trace-event JSON to this file (\"-\" = stdout)")
 	metricsOut = flag.String("metrics", "", "phases experiment: write the merged metrics snapshot JSON to this file (\"-\" = stdout)")
+	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
+	perCycle   = flag.Bool("percycle", false, "force the per-cycle ALPU reference model (no cycle batching); outputs must be byte-identical")
 )
 
 func main() {
@@ -73,6 +77,13 @@ func main() {
 	if *jobs < 1 {
 		*jobs = runtime.GOMAXPROCS(0)
 	}
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alpusim:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+	bench.PerCycleALPU = *perCycle
 	switch *experiment {
 	case "tab3":
 		tab3()
@@ -345,9 +356,13 @@ type benchReport struct {
 	NumCPU      int           `json:"num_cpu"`
 	GoMaxProcs  int           `json:"gomaxprocs"`
 	Experiments []benchResult `json:"experiments"`
-	TotalSeqSec float64       `json:"total_sequential_sec"`
-	TotalParSec float64       `json:"total_parallel_sec"`
-	Speedup     float64       `json:"speedup"`
+	// ALPUMicro holds the device micro-benchmarks (internal/alpu
+	// MicroCases): host ns/op and allocs/op of simulating one insert,
+	// search, or compaction drain per geometry.
+	ALPUMicro   []alpu.MicroResult `json:"alpu_micro"`
+	TotalSeqSec float64            `json:"total_sequential_sec"`
+	TotalParSec float64            `json:"total_parallel_sec"`
+	Speedup     float64            `json:"speedup"`
 }
 
 // benchHarness times the full Fig. 5 + Fig. 6 + gap sweeps at -jobs 1 and
@@ -427,6 +442,10 @@ func benchHarness() {
 	}
 	if rep.TotalParSec > 0 {
 		rep.Speedup = rep.TotalSeqSec / rep.TotalParSec
+	}
+	rep.ALPUMicro = alpu.RunMicroBenchmarks()
+	for _, m := range rep.ALPUMicro {
+		fmt.Printf("micro %-32s %9.0f ns/op  %d allocs/op\n", m.Name, m.NsPerOp, m.AllocsPerOp)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,133 @@
+// Command benchgate compares two `go test -bench` outputs and fails when
+// any benchmark present in both regressed by more than a threshold on
+// ns/op. It is the CI regression gate for the simulator's performance
+// work (ISSUE: cycle-batching fast path): the repository commits a
+// baseline (BENCH_BASELINE.txt) and CI re-runs the same benchmarks,
+// comparing like benchstat would but with a pass/fail verdict and no
+// external dependency.
+//
+// Usage:
+//
+//	benchgate [-threshold 0.15] baseline.txt current.txt
+//
+// Benchmarks appearing in only one file are reported but never fail the
+// gate (renames should not break unrelated PRs); a benchmark that got
+// faster is reported as an improvement. Exit status 1 on regression, 2 on
+// usage or parse errors.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.15, "allowed fractional ns/op regression before failing")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-threshold f] baseline.txt current.txt")
+		os.Exit(2)
+	}
+	base, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("MISSING  %-60s (in baseline only)\n", name)
+			continue
+		}
+		ratio := c / b
+		switch {
+		case ratio > 1+*threshold:
+			failed = true
+			fmt.Printf("FAIL     %-60s %12.1f -> %12.1f ns/op  (%+.1f%%)\n", name, b, c, (ratio-1)*100)
+		case ratio < 1-*threshold:
+			fmt.Printf("faster   %-60s %12.1f -> %12.1f ns/op  (%+.1f%%)\n", name, b, c, (ratio-1)*100)
+		default:
+			fmt.Printf("ok       %-60s %12.1f -> %12.1f ns/op  (%+.1f%%)\n", name, b, c, (ratio-1)*100)
+		}
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("NEW      %-60s (not in baseline)\n", name)
+		}
+	}
+	if failed {
+		fmt.Printf("benchgate: regression over %.0f%% threshold\n", *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}
+
+func parseFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out, err := parse(bufio.NewScanner(f))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return out, nil
+}
+
+// parse extracts name -> ns/op from `go test -bench` output. A result
+// line is "BenchmarkName[-P] <iters> <value> ns/op [...]"; the -P
+// GOMAXPROCS suffix is stripped so baselines transfer across -cpu
+// settings. Duplicate names (e.g. -count > 1) keep the minimum, the
+// least-noise estimate of the benchmark's true cost.
+func parse(sc *bufio.Scanner) (map[string]float64, error) {
+	out := map[string]float64{}
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+			}
+			if prev, ok := out[name]; !ok || v < prev {
+				out[name] = v
+			}
+			break
+		}
+	}
+	return out, sc.Err()
+}

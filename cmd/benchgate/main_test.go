@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func parseString(t *testing.T, s string) map[string]float64 {
+	t.Helper()
+	out, err := parse(bufio.NewScanner(strings.NewReader(s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	out := parseString(t, `
+goos: linux
+BenchmarkEngineScheduleStep-8   	12345678	        95.1 ns/op
+BenchmarkMicro/insert/cells=128/block=8-8         	  500	      2612 ns/op	      64 B/op	       3 allocs/op
+BenchmarkFig5ALPU256-8  	       2	 12345678 ns/op	  1536 sim-ns-q0
+PASS
+`)
+	want := map[string]float64{
+		"BenchmarkEngineScheduleStep":             95.1,
+		"BenchmarkMicro/insert/cells=128/block=8": 2612,
+		"BenchmarkFig5ALPU256":                    12345678,
+	}
+	if len(out) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(out), len(want), out)
+	}
+	for name, v := range want {
+		if out[name] != v {
+			t.Errorf("%s = %v, want %v", name, out[name], v)
+		}
+	}
+}
+
+func TestParseKeepsMinimumOfDuplicates(t *testing.T) {
+	out := parseString(t, `
+BenchmarkX-8   10   200 ns/op
+BenchmarkX-8   10   150 ns/op
+BenchmarkX-8   10   180 ns/op
+`)
+	if out["BenchmarkX"] != 150 {
+		t.Fatalf("duplicate handling: got %v, want 150", out["BenchmarkX"])
+	}
+}
+
+func TestParseSkipsNonResultLines(t *testing.T) {
+	out := parseString(t, "Benchmarks are fun\nBenchmarkY-4 oops\nBenchmarkZ-4 5 10 MB/s\n")
+	if len(out) != 0 {
+		t.Fatalf("parsed %v from non-result lines", out)
+	}
+}

@@ -35,6 +35,7 @@ import (
 
 	"alpusim/internal/alpu"
 	"alpusim/internal/match"
+	"alpusim/internal/profiling"
 	"alpusim/internal/sim"
 	"alpusim/internal/telemetry"
 )
@@ -46,6 +47,8 @@ var (
 	demo       = flag.Bool("demo", false, "run the built-in demo script")
 	tracePath  = flag.String("trace", "", "write Chrome trace-event JSON to this file (\"-\" = stdout)")
 	metricsOut = flag.String("metrics", "", "write the device metrics snapshot JSON to this file (\"-\" = stdout)")
+	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 )
 
 const demoScript = `start
@@ -65,6 +68,12 @@ stats
 
 func main() {
 	flag.Parse()
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "queueprobe:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 	v := alpu.PostedReceives
 	if strings.HasPrefix(*variant, "unexp") {
 		v = alpu.UnexpectedMessages

@@ -29,6 +29,7 @@ import (
 
 	"alpusim/internal/network"
 	"alpusim/internal/nic"
+	"alpusim/internal/profiling"
 	"alpusim/internal/sim"
 	"alpusim/internal/stats"
 	"alpusim/internal/sweep"
@@ -46,6 +47,8 @@ var (
 	breakdown  = flag.Bool("breakdown", false, "report mean per-message latency phases per study")
 	tracePath  = flag.String("trace", "", "write Chrome trace-event JSON to this file (\"-\" = stdout)")
 	metricsOut = flag.String("metrics", "", "write the merged metrics snapshot JSON to this file (\"-\" = stdout)")
+	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 )
 
 // faultyWatchdog bounds each study world when faults are injected; the
@@ -79,6 +82,12 @@ func runners() []runner {
 
 func main() {
 	flag.Parse()
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "queuestudy:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 	if *jobsFlag < 1 {
 		*jobsFlag = runtime.GOMAXPROCS(0)
 	}

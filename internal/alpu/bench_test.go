@@ -1,0 +1,12 @@
+package alpu
+
+import "testing"
+
+// BenchmarkMicro exposes the MicroCases grid (microbench.go) to go test
+// -bench; the CI bench gate and the BENCH.json harness both consume the
+// same cases.
+func BenchmarkMicro(b *testing.B) {
+	for _, c := range MicroCases() {
+		b.Run(c.Name, c.Bench)
+	}
+}

@@ -2,6 +2,7 @@ package alpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"alpusim/internal/match"
 	"alpusim/internal/params"
@@ -31,6 +32,13 @@ type Config struct {
 	// "any empty cell anywhere above" (§III-B discusses this as a timing
 	// trade-off). Used by the abl-compaction ablation.
 	CompactAnyBlock bool
+
+	// PerCycle forces the reference stepping model: one engine event per
+	// device clock edge. The default batches cycles whose intermediate
+	// states are unobservable (see DESIGN.md "model performance"); the two
+	// modes are bit-identical in observable behaviour, enforced by the
+	// equivalence oracle in internal/bench.
+	PerCycle bool
 
 	// Tracer, when set, records search/insert spans and delete instants
 	// on the (TracePID, TraceTID) track.
@@ -97,9 +105,34 @@ type Device struct {
 	cells []cell
 	held  *Probe // failed match held for retry during insert mode (§III-C)
 
-	// Scratch buffers for shiftStep (it runs every device cycle).
-	validBuf   []bool
-	enabledBuf []bool
+	// Scratch bitmaps for the generic (per-bool) compaction step, used
+	// only when the geometry rules out the word-parallel path below.
+	validBuf []bool
+	curBuf   []bool
+
+	// Word-parallel compaction state (block size ≤ 64; the power-of-two
+	// constraint then makes blocks word-aligned). valid mirrors the cells'
+	// valid flags bit-for-bit and is maintained persistently, so a
+	// compaction step is a few shift/mask ops per 64 cells and only actual
+	// data moves touch the cell structs. nil when the geometry is
+	// unsupported, selecting the per-bool fallback everywhere.
+	valid    []uint64
+	moveBuf  []uint64 // scratch: per-word move masks for one step
+	lookBuf  []uint64 // scratch: bitmap copy for insert-wait lookahead
+	lastMask uint64   // bits of the top word that name real cells
+	lowMask  uint64   // the lowest bit of every block
+	topMask  uint64   // the top bit of every block
+	bcastMul uint64   // spreads a block-low bit across its whole block
+	sufShift []uint   // doubling shifts for the in-block suffix OR
+	sufMask  []uint64 // matching masks keeping each shift inside its block
+
+	// Idle-drain state (see idle): a drain is the compaction the device
+	// runs while parked waiting for work, advanced by chunked timers
+	// instead of per-cycle wakes.
+	drainStart sim.Time
+	drainSteps int // compaction cycles materialised since drainStart
+	drainDone  bool
+	drainTimer sim.EventID
 
 	insertMode bool
 	stats      Stats
@@ -129,8 +162,63 @@ func NewDevice(eng *sim.Engine, name string, cfg Config) (*Device, error) {
 		kick:     sim.NewSignal(eng),
 		cells:    make([]cell, cfg.Geometry.Cells),
 	}
+	d.initBits()
 	eng.Spawn(name, d.run)
 	return d, nil
+}
+
+// initBits sets up the word-parallel compaction state when the geometry
+// supports it. Block size is a validated power of two, so bs ≤ 64 means
+// every block lies within one 64-bit word at a fixed offset pattern — the
+// per-block scans become constant masks shared by all words.
+func (d *Device) initBits() {
+	bs := d.cfg.Geometry.BlockSize
+	n := d.cfg.Geometry.Cells
+	if bs > 64 {
+		return // whole-word blocks only; fall back to the per-bool step
+	}
+	words := (n + 63) / 64
+	d.valid = make([]uint64, words)
+	d.moveBuf = make([]uint64, words)
+	d.lookBuf = make([]uint64, words)
+	d.lastMask = ^uint64(0)
+	if r := n % 64; r != 0 {
+		d.lastMask = 1<<uint(r) - 1
+	}
+	for p := 0; p < 64; p += bs {
+		d.lowMask |= 1 << uint(p)
+	}
+	d.topMask = d.lowMask << uint(bs-1)
+	d.bcastMul = ^uint64(0)
+	if bs < 64 {
+		d.bcastMul = 1<<uint(bs) - 1
+	}
+	for k := 1; k < bs; k <<= 1 {
+		pat := uint64(1)<<uint(bs-k) - 1
+		var mask uint64
+		for p := 0; p < 64; p += bs {
+			mask |= pat << uint(p)
+		}
+		d.sufShift = append(d.sufShift, uint(k))
+		d.sufMask = append(d.sufMask, mask)
+	}
+}
+
+// rebuildBits resyncs the packed valid bitmap from the cell array, for
+// the few writers that restructure many cells at once (and white-box
+// tests that poke cells directly).
+func (d *Device) rebuildBits() {
+	if d.valid == nil {
+		return
+	}
+	for w := range d.valid {
+		d.valid[w] = 0
+	}
+	for i, c := range d.cells {
+		if c.valid {
+			d.valid[i/64] |= 1 << uint(i%64)
+		}
+	}
 }
 
 // MustDevice is NewDevice for known-good configurations.
@@ -193,6 +281,13 @@ func (d *Device) PushCommand(c Command) bool {
 
 // Occupancy returns the number of valid cells.
 func (d *Device) Occupancy() int {
+	if d.valid != nil {
+		n := 0
+		for _, v := range d.valid {
+			n += bits.OnesCount64(v)
+		}
+		return n
+	}
 	n := 0
 	for _, c := range d.cells {
 		if c.valid {
@@ -221,16 +316,11 @@ func (d *Device) Tags() []uint32 {
 // Match state; a non-empty command FIFO at a match boundary enters the
 // Read Command state; START INSERT enters insert mode.
 func (d *Device) run(p *sim.Process) {
+	ready := func() bool {
+		return d.Commands.Len() > 0 || d.Headers.Len() > 0
+	}
 	for {
-		if d.Commands.Len() == 0 && d.Headers.Len() == 0 {
-			if d.needsCompaction() {
-				d.tick(p, 1)
-				continue
-			}
-			p.WaitCond(d.kick, func() bool {
-				return d.Commands.Len() > 0 || d.Headers.Len() > 0
-			})
-		}
+		d.idle(p, ready)
 
 		// Read Command state: only RESET and START INSERT are valid here;
 		// everything else is discarded (§III-C footnote 3).
@@ -253,6 +343,140 @@ func (d *Device) run(p *sim.Process) {
 	}
 }
 
+// drainChunk is the number of idle cycles one drain timer covers. Bigger
+// chunks mean fewer engine events on a long drain; the chunk length never
+// overshoots quiescence (armDrainChunk lands the final timer exactly on
+// the quiescent edge), so the value only trades event count against the
+// cost of the capped lookahead in the drain tail.
+const drainChunk = 64
+
+// idle runs the device's compaction-while-waiting behaviour until ready
+// reports work to do: each idle cycle performs one compaction step, and
+// once the array is quiescent the device parks on its kick signal.
+//
+// The fast path parks immediately and advances the drain with chunked
+// timers (armDrainChunk) instead of one engine event per cycle, paying
+// simulated-cycle cost only per state change. If work arrives mid-drain,
+// the pending timer is cancelled and exactly the cycles the per-cycle
+// model would have stepped by the next clock edge are materialised,
+// re-aligning to that edge. Intermediate layouts are unobservable from
+// outside the device (the FIFOs are the only interface and compaction
+// never reorders valid cells), so the two paths are bit-identical in
+// observable behaviour; see DESIGN.md "model performance" for the
+// argument and the producer-granularity assumption.
+func (d *Device) idle(p *sim.Process, ready func() bool) {
+	if d.cfg.PerCycle {
+		for !ready() {
+			if d.needsCompaction() {
+				d.tick(p, 1)
+				continue
+			}
+			p.WaitCond(d.kick, ready)
+		}
+		return
+	}
+	per := d.cfg.Clock.Period
+	for !ready() {
+		if !d.needsCompaction() {
+			p.WaitCond(d.kick, ready)
+			continue
+		}
+		d.drainStart = p.Now()
+		d.drainSteps = 0
+		d.drainDone = false
+		d.armDrainChunk()
+		p.WaitCond(d.kick, ready)
+		if d.drainDone {
+			continue // quiesced before the kick; the device was just parked
+		}
+		d.eng.Cancel(d.drainTimer)
+		// Work arrived mid-drain. The per-cycle model commits a step+sleep
+		// at every edge before it can observe anything, so it would react
+		// at the first clock edge at-or-after now (strictly after when the
+		// kick landed on the edge that started the drain), having stepped
+		// once per edge. Catch up to that edge.
+		elapsed := p.Now() - d.drainStart
+		k := int((elapsed + per - 1) / per)
+		if k == 0 {
+			k = 1
+		}
+		if want := k - d.drainSteps; want > 0 {
+			d.materializeSteps(want)
+		}
+		if align := sim.Time(k)*per - elapsed; align > 0 {
+			p.Sleep(align)
+		}
+	}
+}
+
+// armDrainChunk schedules the next slice of an idle drain. The pending
+// timer is what keeps Engine.Alive positive while compaction is still
+// running, exactly as the per-cycle model's wake events would, so it must
+// never outlive quiescence: a full chunk is armed only when at least
+// drainChunk cycles provably remain (the lowest valid cell climbs past
+// every hole above it at most one position per cycle, so that hole count
+// is a lower bound), and otherwise a capped lookahead finds the exact
+// remaining cycle count and the final timer lands on the quiescent edge —
+// the instant the per-cycle model's last wake would fire.
+func (d *Device) armDrainChunk() {
+	// The hole count is a provable lower bound on the cycles remaining, so
+	// a chunk of min(holes, drainChunk) cycles never overshoots, and every
+	// cycle it covers moves data (the progress property of shiftStep while
+	// compaction is pending). Chunks therefore sum to exactly the
+	// cycles-to-quiescence: the chunk whose materialisation reaches
+	// quiescence fires precisely when the per-cycle model's last wake
+	// would, with no lookahead ever simulated.
+	q := d.holesAboveLowestValid()
+	if q > drainChunk {
+		q = drainChunk
+	}
+	d.drainTimer = d.eng.ScheduleCancellable(sim.Time(q)*d.cfg.Clock.Period, func() {
+		d.drainSteps += q
+		d.materializeSteps(q)
+		if d.needsCompaction() {
+			d.armDrainChunk()
+			return
+		}
+		d.drainDone = true
+	})
+}
+
+// holesAboveLowestValid counts the empty cells above the lowest valid
+// cell — a lower bound on the compaction cycles remaining, computable in
+// one O(cells) pass.
+func (d *Device) holesAboveLowestValid() int {
+	if d.valid != nil {
+		// Equals (cells above the lowest valid one) − (valid cells above
+		// it): n − lowest − popcount.
+		pop, lowest := 0, -1
+		for w, v := range d.valid {
+			if v == 0 {
+				continue
+			}
+			if lowest < 0 {
+				lowest = w*64 + bits.TrailingZeros64(v)
+			}
+			pop += bits.OnesCount64(v)
+		}
+		if lowest < 0 {
+			return 0
+		}
+		return d.cfg.Geometry.Cells - lowest - pop
+	}
+	lowest := -1
+	holes := 0
+	for i, c := range d.cells {
+		if c.valid {
+			if lowest < 0 {
+				lowest = i
+			}
+		} else if lowest >= 0 {
+			holes++
+		}
+	}
+	return holes
+}
+
 // insertLoop is insert mode: inserts are accepted, and matching continues
 // between inserts until a match fails; failed matches are held for retry
 // until insert mode exits (§III-C, §IV-C).
@@ -261,6 +485,9 @@ func (d *Device) insertLoop(p *sim.Process) {
 	d.stats.StartInserts++
 	d.pushResult(p, Response{Kind: RespStartAck, Free: d.free()})
 
+	ready := func() bool {
+		return d.Commands.Len() > 0 || (d.held == nil && d.Headers.Len() > 0)
+	}
 	for {
 		if c, ok := d.Commands.Pop(); ok {
 			switch c.Op {
@@ -291,13 +518,7 @@ func (d *Device) insertLoop(p *sim.Process) {
 			}
 		}
 
-		if d.needsCompaction() {
-			d.tick(p, 1)
-			continue
-		}
-		p.WaitCond(d.kick, func() bool {
-			return d.Commands.Len() > 0 || (d.held == nil && d.Headers.Len() > 0)
-		})
+		d.idle(p, ready)
 	}
 }
 
@@ -315,9 +536,17 @@ func (d *Device) doInsert(p *sim.Process, c Command) {
 		return
 	}
 	for d.cells[0].valid {
-		d.tick(p, 1) // compaction will drain the hole down to cell 0
+		// Compaction will drain a hole down to cell 0 (one exists: free>0).
+		if d.cfg.PerCycle {
+			d.tick(p, 1)
+			continue
+		}
+		d.tick(p, d.cyclesUntilCellZeroFree())
 	}
 	d.cells[0] = cell{valid: true, bits: c.Bits, mask: c.Mask, tag: c.Tag}
+	if d.valid != nil {
+		d.valid[0] |= 1
+	}
 	d.stats.Inserts++
 	if occ := d.Occupancy(); occ > d.stats.MaxOccupancy {
 		d.stats.MaxOccupancy = occ
@@ -383,6 +612,26 @@ func (d *Device) findMatch(probe Probe) int {
 func (d *Device) deleteAt(idx int) {
 	copy(d.cells[1:idx+1], d.cells[0:idx])
 	d.cells[0] = cell{}
+	if d.valid == nil {
+		return
+	}
+	// Mirror in the bitmap: bits [0, idx] become the old bits [0, idx-1]
+	// shifted up one with a zero shifted in; bits above idx are unchanged.
+	wEnd := idx / 64
+	carry := uint64(0)
+	for w := 0; w <= wEnd; w++ {
+		v := d.valid[w]
+		sv := v<<1 | carry
+		carry = v >> 63
+		if w == wEnd {
+			low := ^uint64(0)
+			if b := uint(idx % 64); b < 63 {
+				low = 1<<(b+1) - 1
+			}
+			sv = sv&low | v&^low
+		}
+		d.valid[w] = sv
+	}
 }
 
 // reset clears all valid flags (the RESET command).
@@ -390,19 +639,91 @@ func (d *Device) reset() {
 	for i := range d.cells {
 		d.cells[i] = cell{}
 	}
+	for i := range d.valid {
+		d.valid[i] = 0
+	}
 	d.held = nil
 	d.stats.Resets++
 }
 
 // tick advances n device clock cycles, performing one compaction step per
-// cycle (the per-cycle register enables of §III-B).
+// cycle (the per-cycle register enables of §III-B). The batched model
+// applies all n steps' worth of state change up front — the intermediate
+// layouts are internal to the device — and sleeps the burst in two events:
+// the final wake is scheduled one period early, exactly when the per-cycle
+// model schedules its last wake, so same-instant event ordering against
+// other processes is preserved.
 func (d *Device) tick(p *sim.Process, n int) {
-	for i := 0; i < n; i++ {
-		if d.shiftStep() {
+	if n <= 0 {
+		return
+	}
+	per := d.cfg.Clock.Period
+	if d.cfg.PerCycle {
+		for i := 0; i < n; i++ {
+			if d.shiftStep() {
+				d.stats.ShiftCycles++
+			}
+			p.Sleep(per)
+		}
+		return
+	}
+	d.materializeSteps(n)
+	if n > 1 {
+		p.Sleep(sim.Time(n-1) * per)
+	}
+	p.Sleep(per)
+}
+
+// materializeSteps applies up to n compaction cycles of state change
+// immediately, counting ShiftCycles exactly as per-cycle stepping would.
+// Cells change only through the device itself, so once one step moves
+// nothing, no later step in the burst can move either. The valid bitmap
+// is carried across the burst so each step scans bools, not cell
+// structs; only actual moves touch cells.
+func (d *Device) materializeSteps(n int) {
+	if n <= 0 {
+		return
+	}
+	if d.valid != nil {
+		for i := 0; i < n; i++ {
+			if !d.bitStep(d.valid, true) {
+				return
+			}
 			d.stats.ShiftCycles++
 		}
-		p.Sleep(d.cfg.Clock.Period)
+		return
 	}
+	before, cur := d.scratch()
+	anyHole := false
+	for i, c := range d.cells {
+		cur[i] = c.valid
+		if !c.valid {
+			anyHole = true
+		}
+	}
+	if !anyHole {
+		return
+	}
+	move := func(i int) {
+		d.cells[i+1] = d.cells[i]
+		d.cells[i] = cell{}
+	}
+	for i := 0; i < n; i++ {
+		copy(before, cur)
+		if !d.stepValid(before, cur, move) {
+			return
+		}
+		d.stats.ShiftCycles++
+	}
+}
+
+// scratch returns the two lazily-allocated bitmap buffers.
+func (d *Device) scratch() (before, cur []bool) {
+	if d.validBuf == nil {
+		d.validBuf = make([]bool, len(d.cells))
+		d.curBuf = make([]bool, len(d.cells))
+	}
+	return d.validBuf, d.curBuf
 }
 
 // shiftStep performs one cycle of hole compaction. A cell's data moves up
@@ -412,16 +733,14 @@ func (d *Device) tick(p *sim.Process, n int) {
 // empty cell above. Enables are computed from the pre-cycle state, as the
 // hardware's registered control does.
 func (d *Device) shiftStep() bool {
-	n := len(d.cells)
-	bs := d.cfg.Geometry.BlockSize
-	if d.validBuf == nil {
-		d.validBuf = make([]bool, n)
-		d.enabledBuf = make([]bool, n)
+	if d.valid != nil {
+		return d.bitStep(d.valid, true)
 	}
-	validBefore := d.validBuf
+	before, cur := d.scratch()
 	anyHole := false
 	for i, c := range d.cells {
-		validBefore[i] = c.valid
+		before[i] = c.valid
+		cur[i] = c.valid
 		if !c.valid {
 			anyHole = true
 		}
@@ -429,49 +748,219 @@ func (d *Device) shiftStep() bool {
 	if !anyHole {
 		return false
 	}
+	return d.stepValid(before, cur, func(i int) {
+		d.cells[i+1] = d.cells[i]
+		d.cells[i] = cell{}
+	})
+}
 
-	enabled := d.enabledBuf
-	// holeAbove[i]: is there an empty cell at any j > i (pre-cycle state)?
-	holeAbove := false
-	for i := n - 1; i >= 0; i-- {
-		if d.cfg.CompactAnyBlock {
-			enabled[i] = holeAbove
-		} else {
-			blockEnd := (i/bs+1)*bs - 1 // top index of i's block
-			e := false
-			for j := i + 1; j <= blockEnd; j++ {
-				if !validBefore[j] {
-					e = true
-					break
-				}
-			}
-			if !e && blockEnd+1 < n && !validBefore[blockEnd+1] {
-				e = true // lowest cell of the next block is empty
-			}
-			enabled[i] = e
-		}
-		if !validBefore[i] {
-			holeAbove = true
-		}
-	}
-
+// stepValid advances a valid bitmap by one compaction cycle: enables come
+// from before (the pre-cycle state, left unchanged), moves are applied to
+// cur (which must start equal to before), and move(i) — when non-nil — is
+// invoked for every cell whose data shifts up. Data movement depends only
+// on the valid bits, so the same routine drives both the real cell array
+// (via the move callback) and the analytic cycles-to-quiescence counting.
+// One descending O(cells) pass: moves apply top-down so a contiguous
+// enabled run shifts by one as a group, and the running suffix scans
+// replace the per-cell inner block loop.
+func (d *Device) stepValid(before, cur []bool, move func(i int)) bool {
+	n := len(before)
 	moved := false
-	// Each enabled cell's data moves to the cell above; apply from the top
-	// down so a contiguous enabled run shifts by one as a group.
+	if d.cfg.CompactAnyBlock {
+		holeAbove := !before[n-1] // empty cell at any j > i, pre-cycle
+		for i := n - 2; i >= 0; i-- {
+			if holeAbove && cur[i] && !cur[i+1] {
+				cur[i+1], cur[i] = true, false
+				if move != nil {
+					move(i)
+				}
+				moved = true
+			}
+			if !before[i] {
+				holeAbove = true
+			}
+		}
+		return moved
+	}
+	bs := d.cfg.Geometry.BlockSize
+	holeInBlock := !before[n-1] // empty cell above i within i's block
+	nextLow := false            // lowest cell of the block above is empty
 	for i := n - 2; i >= 0; i-- {
-		if enabled[i] && d.cells[i].valid && !d.cells[i+1].valid {
-			d.cells[i+1] = d.cells[i]
-			d.cells[i] = cell{}
+		if i%bs == bs-1 { // i is the top cell of its block
+			holeInBlock = false
+			nextLow = !before[i+1]
+		}
+		if (holeInBlock || nextLow) && cur[i] && !cur[i+1] {
+			cur[i+1], cur[i] = true, false
+			if move != nil {
+				move(i)
+			}
 			moved = true
+		}
+		if !before[i] {
+			holeInBlock = true
 		}
 	}
 	return moved
+}
+
+// suffixOR64 ORs into every bit all bits above it: result bit i is the OR
+// of x's bits i..63.
+func suffixOR64(x uint64) uint64 {
+	x |= x >> 1
+	x |= x >> 2
+	x |= x >> 4
+	x |= x >> 8
+	x |= x >> 16
+	x |= x >> 32
+	return x
+}
+
+// bitStep is stepValid on the packed bitmap: one compaction cycle in a
+// few word ops per 64 cells. The per-bool scan's run-group behaviour
+// collapses to a closed form — a valid cell moves up exactly when its
+// space-available enable (from the pre-cycle state) holds, because a
+// valid cell directly above an enabled cell is itself enabled and vacates
+// the slot in the same cycle — so the move mask is just valid & enable
+// and the new bitmap is (valid &^ moves) | moves<<1 with cross-word
+// carry. When moveCells is set, the set bits of the move mask are applied
+// to the cell array top-down, as the scan would.
+func (d *Device) bitStep(v []uint64, moveCells bool) bool {
+	m := d.moveBuf
+	moved := false
+	if d.cfg.CompactAnyBlock {
+		// Enable: any empty cell anywhere above. Within a word that is the
+		// strict suffix OR of the hole bits; a hole in any higher word
+		// enables the whole word.
+		holeAbove := false
+		for w := len(v) - 1; w >= 0; w-- {
+			h := ^v[w]
+			if w == len(v)-1 {
+				h &= d.lastMask
+			}
+			e := suffixOR64(h) >> 1
+			if holeAbove {
+				e = ^uint64(0)
+			}
+			if mw := v[w] & e; mw != 0 {
+				m[w] = mw
+				moved = true
+			} else {
+				m[w] = 0
+			}
+			if h != 0 {
+				holeAbove = true
+			}
+		}
+	} else {
+		// Enable: an empty cell higher in the same block (in-block strict
+		// suffix OR of the holes, via masked doubling), or an empty lowest
+		// cell of the next block (each block-low hole bit shifted down one
+		// block and broadcast across it; the word's top block takes the
+		// carry from the word above).
+		bs := uint(d.cfg.Geometry.BlockSize)
+		carryLow := uint64(0)
+		for w := len(v) - 1; w >= 0; w-- {
+			h := ^v[w]
+			if w == len(v)-1 {
+				h &= d.lastMask
+			}
+			f := h
+			for j, k := range d.sufShift {
+				f |= f >> k & d.sufMask[j]
+			}
+			lows := h & d.lowMask
+			nl := (lows>>bs | carryLow<<(64-bs)) * d.bcastMul
+			carryLow = lows & 1
+			if mw := v[w] & (f>>1&^d.topMask | nl); mw != 0 {
+				m[w] = mw
+				moved = true
+			} else {
+				m[w] = 0
+			}
+		}
+	}
+	if !moved {
+		return false
+	}
+	carry := uint64(0)
+	for w := 0; w < len(v); w++ {
+		mw := m[w]
+		v[w] = v[w]&^mw | mw<<1 | carry
+		carry = mw >> 63
+	}
+	if !moveCells {
+		return true
+	}
+	for w := len(v) - 1; w >= 0; w-- {
+		mw := m[w]
+		for mw != 0 {
+			b := bits.Len64(mw) - 1
+			i := w*64 + b
+			d.cells[i+1] = d.cells[i]
+			d.cells[i] = cell{}
+			mw &^= 1 << uint(b)
+		}
+	}
+	return true
+}
+
+// cyclesUntilCellZeroFree counts the compaction cycles until cell 0 is
+// empty so an insert can land, stepping the valid bitmap analytically.
+// The caller must ensure a free cell exists; compaction then always
+// drains a hole down to cell 0, so the count is finite (and checked
+// before each step, matching a caller that re-tests per cycle).
+func (d *Device) cyclesUntilCellZeroFree() int {
+	if d.valid != nil {
+		copy(d.lookBuf, d.valid)
+		steps := 0
+		for d.lookBuf[0]&1 != 0 {
+			if !d.bitStep(d.lookBuf, false) {
+				break // cannot happen while a free cell exists
+			}
+			steps++
+		}
+		return steps
+	}
+	before, cur := d.scratch()
+	for i := range d.cells {
+		cur[i] = d.cells[i].valid
+	}
+	steps := 0
+	for cur[0] {
+		copy(before, cur)
+		if !d.stepValid(before, cur, nil) {
+			break // cannot happen while a free cell exists
+		}
+		steps++
+	}
+	return steps
 }
 
 // needsCompaction reports whether any valid cell still has an empty cell
 // above it (the valid cells are not yet a contiguous suffix at the
 // high-priority end). Holes below all data are the compacted steady state.
 func (d *Device) needsCompaction() bool {
+	if d.valid != nil {
+		seenHole := false
+		for w := len(d.valid) - 1; w >= 0; w-- {
+			v := d.valid[w]
+			h := ^v
+			if w == len(d.valid)-1 {
+				h &= d.lastMask
+			}
+			if seenHole && v != 0 {
+				return true
+			}
+			if suffixOR64(h)>>1&v != 0 {
+				return true
+			}
+			if h != 0 {
+				seenHole = true
+			}
+		}
+		return false
+	}
 	seenEmpty := false
 	for i := len(d.cells) - 1; i >= 0; i-- {
 		if !d.cells[i].valid {

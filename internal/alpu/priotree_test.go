@@ -21,6 +21,7 @@ func fillDevice(cells, block int, occupied map[int]uint32) *Device {
 	for idx, tag := range occupied {
 		d.cells[idx] = cell{valid: true, bits: b, mask: m, tag: tag}
 	}
+	d.rebuildBits()
 	return d
 }
 

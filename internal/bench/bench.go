@@ -49,13 +49,19 @@ func (k NICKind) String() string {
 	}
 }
 
+// PerCycleALPU, when set before building configs, forces the per-cycle
+// ALPU reference model on every NICConfig result (the alpusim -percycle
+// flag). The batched fast path and the reference model are bit-identical
+// in observable behaviour; oracle_test.go enforces it per kind.
+var PerCycleALPU bool
+
 // NICConfig returns the nic.Config for a named configuration.
 func NICConfig(k NICKind) nic.Config {
 	switch k {
 	case ALPU128:
-		return nic.Config{UseALPU: true, Cells: 128}
+		return nic.Config{UseALPU: true, Cells: 128, PerCycleALPU: PerCycleALPU}
 	case ALPU256:
-		return nic.Config{UseALPU: true, Cells: 256}
+		return nic.Config{UseALPU: true, Cells: 256, PerCycleALPU: PerCycleALPU}
 	default:
 		return nic.Config{}
 	}

@@ -77,6 +77,11 @@ type Config struct {
 	// ALPUConfig optionally overrides the device configuration (geometry,
 	// pipeline). Variant and cells are filled in per unit.
 	ALPUConfig *alpu.Config
+	// PerCycleALPU forces the reference per-cycle device stepping model
+	// instead of the batched fast path (see alpu.Config.PerCycle). The two
+	// are bit-identical in observable behaviour; the equivalence oracle in
+	// internal/bench runs both.
+	PerCycleALPU bool
 
 	// UseHashList switches the software queues to the hash organisation
 	// of §II (the abl-hash ablation baseline). Mutually exclusive with
@@ -373,6 +378,9 @@ func (n *NIC) alpuConfig(v alpu.Variant, tid int) alpu.Config {
 		if c.Geometry.Cells == 0 {
 			c.Geometry.Cells = n.cfg.Cells
 		}
+	}
+	if n.cfg.PerCycleALPU {
+		c.PerCycle = true
 	}
 	c.Tracer = n.tracer
 	c.TracePID = n.cfg.ID

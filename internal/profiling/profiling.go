@@ -1,0 +1,49 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags into
+// the cmds (EXPERIMENTS.md "Profiling the simulator"). It exists so the
+// three binaries share one implementation of the start/stop dance.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and returns a stop
+// function that finishes the CPU profile and writes an allocation profile
+// to memPath (if non-empty). Call the stop function before exiting; it is
+// safe to call when both paths are empty.
+func Start(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		cpuFile = f
+	}
+	stop := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recently-freed objects out of the profile
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+			}
+		}
+	}
+	return stop, nil
+}

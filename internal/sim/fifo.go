@@ -3,9 +3,14 @@ package sim
 // FIFO is a bounded queue with a "became non-empty" signal, modelling the
 // decoupling FIFOs the paper places between the processor, the header
 // stream, and the ALPU (Fig. 1). Capacity 0 means unbounded.
+//
+// Storage is a ring buffer: Push and Pop are O(1), and popped slots are
+// zeroed so the FIFO never retains references to items it no longer holds.
 type FIFO[T any] struct {
 	name     string
-	items    []T
+	buf      []T
+	head     int // index of the oldest item
+	count    int
 	capacity int
 	NotEmpty *Signal
 	NotFull  *Signal
@@ -18,25 +23,43 @@ type FIFO[T any] struct {
 
 // NewFIFO returns an empty FIFO with the given capacity (0 = unbounded).
 func NewFIFO[T any](e *Engine, name string, capacity int) *FIFO[T] {
-	return &FIFO[T]{
+	f := &FIFO[T]{
 		name:     name,
 		capacity: capacity,
 		NotEmpty: NewSignal(e),
 		NotFull:  NewSignal(e),
 	}
+	if capacity > 0 {
+		f.buf = make([]T, capacity)
+	}
+	return f
 }
 
 // Name returns the FIFO's name.
 func (f *FIFO[T]) Name() string { return f.name }
 
 // Len returns the number of queued items.
-func (f *FIFO[T]) Len() int { return len(f.items) }
+func (f *FIFO[T]) Len() int { return f.count }
 
 // Cap returns the capacity (0 = unbounded).
 func (f *FIFO[T]) Cap() int { return f.capacity }
 
 // Full reports whether a Push would fail.
-func (f *FIFO[T]) Full() bool { return f.capacity > 0 && len(f.items) >= f.capacity }
+func (f *FIFO[T]) Full() bool { return f.capacity > 0 && f.count >= f.capacity }
+
+// grow doubles the ring for an unbounded FIFO, unwrapping the live items to
+// the front of the new buffer.
+func (f *FIFO[T]) grow() {
+	newCap := 2 * len(f.buf)
+	if newCap < 4 {
+		newCap = 4
+	}
+	buf := make([]T, newCap)
+	n := copy(buf, f.buf[f.head:])
+	copy(buf[n:], f.buf[:f.head])
+	f.buf = buf
+	f.head = 0
+}
 
 // Push appends v. It reports false (dropping v) when the FIFO is full;
 // hardware-faithful callers must check Full first or handle the drop.
@@ -45,29 +68,32 @@ func (f *FIFO[T]) Push(v T) bool {
 		f.drops++
 		return false
 	}
-	f.items = append(f.items, v)
+	if f.count == len(f.buf) {
+		f.grow() // unbounded FIFO out of room
+	}
+	f.buf[(f.head+f.count)%len(f.buf)] = v
+	f.count++
 	f.pushes++
-	if len(f.items) > f.maxDepth {
-		f.maxDepth = len(f.items)
+	if f.count > f.maxDepth {
+		f.maxDepth = f.count
 	}
 	f.NotEmpty.Raise()
 	return true
 }
 
-// Pop removes and returns the oldest item.
+// Pop removes and returns the oldest item. The vacated slot is zeroed so
+// the backing array retains no reference to the popped item.
 func (f *FIFO[T]) Pop() (T, bool) {
 	var zero T
-	if len(f.items) == 0 {
+	if f.count == 0 {
 		return zero, false
 	}
-	v := f.items[0]
-	// Shift rather than re-slice so the backing array does not grow without
-	// bound over long simulations.
-	copy(f.items, f.items[1:])
-	f.items[len(f.items)-1] = zero
-	f.items = f.items[:len(f.items)-1]
+	v := f.buf[f.head]
+	f.buf[f.head] = zero
+	f.head = (f.head + 1) % len(f.buf)
+	f.count--
 	f.NotFull.Raise()
-	if len(f.items) > 0 {
+	if f.count > 0 {
 		f.NotEmpty.Raise()
 	}
 	return v, true
@@ -76,10 +102,10 @@ func (f *FIFO[T]) Pop() (T, bool) {
 // Peek returns the oldest item without removing it.
 func (f *FIFO[T]) Peek() (T, bool) {
 	var zero T
-	if len(f.items) == 0 {
+	if f.count == 0 {
 		return zero, false
 	}
-	return f.items[0], true
+	return f.buf[f.head], true
 }
 
 // MaxDepth reports the high-water mark since creation.

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Runs the bench-gate benchmark set — the engine event loop, the ALPU
+# device micro-benchmarks, and the quick Fig. 5 sweep cuts — and appends
+# the raw `go test -bench` output to the given file (default
+# BENCH_CURRENT.txt). CI compares that output against the committed
+# BENCH_BASELINE.txt with cmd/benchgate; regenerate the baseline by
+# running this script with BENCH_BASELINE.txt as the argument on the
+# reference machine and committing the result.
+#
+# -count 3 runs every benchmark three times; the gate keeps the minimum,
+# which is the least-noise estimate of true cost.
+set -e
+out="${1:-BENCH_CURRENT.txt}"
+: > "$out"
+go test -run '^$' -bench 'BenchmarkEngineScheduleStep$' -benchtime 1s -count 3 ./internal/sim | tee -a "$out"
+go test -run '^$' -bench 'BenchmarkMicro/' -benchtime 2000x -count 3 ./internal/alpu | tee -a "$out"
+go test -run '^$' -bench 'BenchmarkFig5' -benchtime 3x -count 3 . | tee -a "$out"
