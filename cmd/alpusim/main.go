@@ -17,7 +17,9 @@
 //	               faults vs the NIC reliability protocol's recovery stats
 //	bench          wall-clock harness: times every figure sweep at -jobs 1
 //	               and -jobs N and writes BENCH.json with the speedups
-//	all            everything above except chaos and bench
+//	stall          forces a watchdog stall (endless ping-pong world) and
+//	               writes the flight-recorder post-mortem (-flightdump)
+//	all            everything above except chaos, bench and stall
 //
 // Flags: -quick shrinks the sweeps (~10x faster), -format csv emits
 // machine-readable series instead of tables, -jobs N fans the independent
@@ -34,6 +36,14 @@
 // trace-event JSON (load at ui.perfetto.dev) and -metrics FILE writes the
 // merged metrics-registry snapshot as JSON; "-" means stdout. Both are
 // byte-identical across runs with the same flags at any -jobs setting.
+//
+// Live observability: -serve ADDR runs an HTTP server for the duration of
+// the experiments exposing /metrics (Prometheus text format), /healthz,
+// and /progress (sweep completion, JSON or SSE). Serving is strictly
+// read-only — experiment output stays byte-identical with and without it.
+// -linger keeps the server up after the run so scrapers can catch the
+// final state; -log FILE ("-" = stderr) writes structured simulated-time
+// diagnostics (watchdog expiry, protocol errors, flight dumps).
 package main
 
 import (
@@ -41,6 +51,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"time"
@@ -48,11 +59,15 @@ import (
 	"alpusim/internal/alpu"
 	"alpusim/internal/bench"
 	"alpusim/internal/fpga"
+	"alpusim/internal/mpi"
 	"alpusim/internal/network"
 	"alpusim/internal/nic"
+	"alpusim/internal/obs"
 	"alpusim/internal/params"
 	"alpusim/internal/profiling"
+	"alpusim/internal/sim"
 	"alpusim/internal/stats"
+	"alpusim/internal/sweep"
 	"alpusim/internal/telemetry"
 )
 
@@ -70,7 +85,37 @@ var (
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 	perCycle   = flag.Bool("percycle", false, "force the per-cycle ALPU reference model (no cycle batching); outputs must be byte-identical")
+	serveAddr  = flag.String("serve", "", "serve the live observability plane (/metrics, /healthz, /progress) on this address while experiments run (e.g. \":9090\"; \":0\" picks a port)")
+	linger     = flag.Duration("linger", 0, "with -serve: keep the observability server up this long after the experiments finish")
+	logPath    = flag.String("log", "", "write structured diagnostics (slog text, simulated-time stamped) to this file (\"-\" = stderr)")
+	flightDump = flag.String("flightdump", "flight.json", "stall experiment: write the flight-recorder dump (Perfetto-loadable trace JSON) here on watchdog expiry")
 )
+
+// diagLog is the process's structured diagnostic logger (nil without
+// -log); progressTracker is the live sweep tracker (nil without -serve).
+var (
+	diagLog         *slog.Logger
+	progressTracker *sweep.Progress
+)
+
+// openLog builds the -log slog logger; "" disables, "-" is stderr.
+func openLog(path string) (*slog.Logger, func(), error) {
+	if path == "" {
+		return nil, func() {}, nil
+	}
+	if path == "-" {
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return slog.New(slog.NewTextHandler(f, nil)), func() { f.Close() }, nil
+}
+
+// obsLabel names the sweeps an experiment is about to run on the
+// /progress endpoint; a no-op without -serve.
+func obsLabel(name string) { progressTracker.SetLabel(name) }
 
 func main() {
 	flag.Parse()
@@ -83,6 +128,26 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProf()
+	var closeLog func()
+	diagLog, closeLog, err = openLog(*logPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alpusim: -log: %v\n", err)
+		os.Exit(1)
+	}
+	defer closeLog()
+	var srv *obs.Server
+	if *serveAddr != "" {
+		progressTracker = sweep.NewProgress()
+		sweep.SetProgress(progressTracker)
+		srv = obs.NewServer(obs.Options{Progress: progressTracker, Log: diagLog})
+		addr, err := srv.Start(*serveAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alpusim: -serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "alpusim: observability plane on http://%s\n", addr)
+		bench.WorldObserver = func(w *mpi.World) { srv.MergeSnapshot(w.TelemetrySnapshot()) }
+	}
 	bench.PerCycleALPU = *perCycle
 	switch *experiment {
 	case "tab3":
@@ -109,6 +174,8 @@ func main() {
 		chaosExp()
 	case "bench":
 		benchHarness()
+	case "stall":
+		stallExp()
 	case "all":
 		tab3()
 		fpgaTable(alpu.PostedReceives)
@@ -125,6 +192,59 @@ func main() {
 		flag.Usage()
 		os.Exit(1)
 	}
+	if srv != nil {
+		if *linger > 0 {
+			fmt.Fprintf(os.Stderr, "alpusim: experiments done; serving for another %v\n", *linger)
+			time.Sleep(*linger)
+		}
+		srv.Close()
+	}
+}
+
+// stallExp forces a stall on purpose: two ranks ping-pong forever so the
+// event queue never drains, a short watchdog converts the livelock into
+// a *sim.WatchdogError, and the always-on flight recorder dumps the
+// pre-stall event history as Perfetto-loadable JSON — the post-mortem
+// workflow, demonstrated end to end.
+func stallExp() {
+	limit := 200 * sim.Microsecond
+	w := mpi.NewWorld(mpi.Config{
+		Ranks:          2,
+		NIC:            bench.NICConfig(bench.Baseline),
+		WatchdogLimit:  limit,
+		FlightDumpPath: *flightDump,
+		Log:            diagLog,
+	})
+	prog := func(r *mpi.Rank) {
+		peer := 1 - r.Rank()
+		for k := 0; ; k++ {
+			if r.Rank() == 0 {
+				r.Send(peer, k%64, 8)
+				r.Recv(peer, k%64, 8)
+			} else {
+				r.Recv(peer, k%64, 8)
+				r.Send(peer, k%64, 8)
+			}
+		}
+	}
+	for i := 0; i < 2; i++ {
+		w.SpawnRank(i, prog)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			fmt.Fprintln(os.Stderr, "alpusim: stall experiment drained without expiring the watchdog")
+			os.Exit(1)
+		}
+		we, ok := r.(*sim.WatchdogError)
+		if !ok {
+			panic(r)
+		}
+		fmt.Printf("stall: watchdog expired at %v (as intended)\n", we.Limit)
+		fmt.Printf("stall: flight recorder dumped %d events to %s (%d older events dropped by the ring)\n",
+			w.Flight.Len(), *flightDump, w.Flight.Dropped())
+	}()
+	w.Eng.Run()
 }
 
 func queueLens() []int {
@@ -187,6 +307,7 @@ func fpgaTable(v alpu.Variant) {
 }
 
 func fig5(kind bench.NICKind) {
+	obsLabel(fmt.Sprintf("fig5-%s", kind))
 	fmt.Printf("Fig. 5 surface: %s NIC, %d-byte messages (one-way latency, ns)\n", kind, *msgSize)
 	pts := bench.RunPreposted(bench.PrepostedConfig{
 		NIC:       bench.NICConfig(kind),
@@ -249,6 +370,7 @@ func unexpectedByQ(pts []bench.UnexpectedPoint) map[int]bench.UnexpectedPoint {
 }
 
 func fig6() {
+	obsLabel("fig6")
 	fmt.Printf("Fig. 6: unexpected queue latency, %d-byte messages (ns)\n", *msgSize)
 	kinds := []bench.NICKind{bench.Baseline, bench.ALPU128, bench.ALPU256}
 	series := map[bench.NICKind]map[int]bench.UnexpectedPoint{}
@@ -297,6 +419,7 @@ func fig6() {
 // gapExp reports the message-rate study behind the paper's §I gap
 // motivation, including the §VI-B Quadrics Elan4 comparison point.
 func gapExp() {
+	obsLabel("gap")
 	fmt.Println("Gap (inverse message rate) vs. match depth, plus the Elan4-class comparison")
 	depths := []int{0, 25, 50, 100, 150, 200}
 	if *quick {
@@ -370,6 +493,7 @@ type benchReport struct {
 // experiments run (honouring -quick); output tables are skipped so the
 // numbers measure simulation, not rendering.
 func benchHarness() {
+	obsLabel("bench")
 	parJobs := *jobs
 	type exp struct {
 		name string
@@ -492,6 +616,7 @@ func writeOutput(path string, write func(w io.Writer) error) error {
 // in the recovery column; -trace and -metrics export the runs'
 // telemetry.
 func phasesExp() {
+	obsLabel("phases")
 	var fm *network.FaultModel
 	if *faultSpec != "" {
 		var err error
@@ -555,6 +680,7 @@ func phasesExp() {
 // mix is the whole matrix; otherwise every default mix runs. Output is a
 // pure function of the flags (same -seed => identical bytes).
 func chaosExp() {
+	obsLabel("chaos")
 	var mixes []bench.ChaosMix
 	if *faultSpec != "" {
 		fm, err := network.ParseFaults(*faultSpec, *faultSeed)
@@ -576,6 +702,7 @@ func chaosExp() {
 }
 
 func anchors() {
+	obsLabel("anchors")
 	fmt.Println("Measured vs published anchors (§VI-B, §VI-C)")
 	qls := []int{0, 5, 25, 50, 100, 150, 200, 350, 400, 450, 500}
 	base := bench.RunPreposted(bench.PrepostedConfig{

@@ -44,41 +44,66 @@ func main() {
 		os.Exit(2)
 	}
 
+	out, failed := report(base, cur, *threshold)
+	os.Stdout.WriteString(out)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// report renders the sorted per-benchmark delta table — the same table
+// on success and failure, so CI logs always show the perf trajectory —
+// and returns it with the gate verdict. All output is deterministic:
+// compared benchmarks sort by name, as do NEW/MISSING entries.
+func report(base, cur map[string]float64, threshold float64) (string, bool) {
 	names := make([]string, 0, len(base))
 	for name := range base {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 
-	failed := false
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-60s %12s    %12s  %s\n", "", "benchmark", "old ns/op", "new ns/op", "delta")
+	var compared, faster, regressed, missing int
 	for _, name := range names {
-		b := base[name]
+		old := base[name]
 		c, ok := cur[name]
 		if !ok {
-			fmt.Printf("MISSING  %-60s (in baseline only)\n", name)
+			missing++
+			fmt.Fprintf(&b, "MISSING  %-60s (in baseline only)\n", name)
 			continue
 		}
-		ratio := c / b
+		compared++
+		ratio := c / old
+		status := "ok"
 		switch {
-		case ratio > 1+*threshold:
-			failed = true
-			fmt.Printf("FAIL     %-60s %12.1f -> %12.1f ns/op  (%+.1f%%)\n", name, b, c, (ratio-1)*100)
-		case ratio < 1-*threshold:
-			fmt.Printf("faster   %-60s %12.1f -> %12.1f ns/op  (%+.1f%%)\n", name, b, c, (ratio-1)*100)
-		default:
-			fmt.Printf("ok       %-60s %12.1f -> %12.1f ns/op  (%+.1f%%)\n", name, b, c, (ratio-1)*100)
+		case ratio > 1+threshold:
+			regressed++
+			status = "FAIL"
+		case ratio < 1-threshold:
+			faster++
+			status = "faster"
 		}
+		fmt.Fprintf(&b, "%-8s %-60s %12.1f -> %12.1f  %+.1f%%\n", status, name, old, c, (ratio-1)*100)
 	}
+	var added []string
 	for name := range cur {
 		if _, ok := base[name]; !ok {
-			fmt.Printf("NEW      %-60s (not in baseline)\n", name)
+			added = append(added, name)
 		}
 	}
-	if failed {
-		fmt.Printf("benchgate: regression over %.0f%% threshold\n", *threshold*100)
-		os.Exit(1)
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Fprintf(&b, "NEW      %-60s (not in baseline)\n", name)
 	}
-	fmt.Println("benchgate: ok")
+	fmt.Fprintf(&b, "benchgate: %d compared (%d faster, %d regressed), %d new, %d missing\n",
+		compared, faster, regressed, len(added), missing)
+	if regressed > 0 {
+		fmt.Fprintf(&b, "benchgate: regression over %.0f%% threshold\n", threshold*100)
+		return b.String(), true
+	}
+	b.WriteString("benchgate: ok\n")
+	return b.String(), false
 }
 
 func parseFile(path string) (map[string]float64, error) {

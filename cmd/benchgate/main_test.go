@@ -55,3 +55,75 @@ func TestParseSkipsNonResultLines(t *testing.T) {
 		t.Fatalf("parsed %v from non-result lines", out)
 	}
 }
+
+func TestReportPasses(t *testing.T) {
+	base := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200}
+	cur := map[string]float64{"BenchmarkA": 110, "BenchmarkB": 150}
+	out, failed := report(base, cur, 0.15)
+	if failed {
+		t.Fatalf("gate failed without a regression:\n%s", out)
+	}
+	for _, want := range []string{
+		"ok       BenchmarkA",
+		"faster   BenchmarkB",
+		"benchgate: 2 compared (1 faster, 0 regressed), 0 new, 0 missing",
+		"benchgate: ok",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportFailsOnRegression(t *testing.T) {
+	base := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100}
+	cur := map[string]float64{"BenchmarkA": 130, "BenchmarkB": 101}
+	out, failed := report(base, cur, 0.15)
+	if !failed {
+		t.Fatalf("30%% regression passed the 15%% gate:\n%s", out)
+	}
+	for _, want := range []string{
+		"FAIL     BenchmarkA",
+		"ok       BenchmarkB", // the full table prints even on failure
+		"+30.0%",
+		"benchgate: 2 compared (0 faster, 1 regressed), 0 new, 0 missing",
+		"benchgate: regression over 15% threshold",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportNewAndMissingAreSortedAndHarmless(t *testing.T) {
+	base := map[string]float64{"BenchmarkGone": 50}
+	cur := map[string]float64{"BenchmarkZeta": 1, "BenchmarkAlpha": 2, "BenchmarkMu": 3}
+	out, failed := report(base, cur, 0.15)
+	if failed {
+		t.Fatalf("renames must not fail the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "MISSING  BenchmarkGone") {
+		t.Errorf("missing baseline-only entry:\n%s", out)
+	}
+	alpha := strings.Index(out, "NEW      BenchmarkAlpha")
+	mu := strings.Index(out, "NEW      BenchmarkMu")
+	zeta := strings.Index(out, "NEW      BenchmarkZeta")
+	if alpha < 0 || mu < 0 || zeta < 0 || !(alpha < mu && mu < zeta) {
+		t.Errorf("NEW entries not sorted (alpha=%d mu=%d zeta=%d):\n%s", alpha, mu, zeta, out)
+	}
+	if !strings.Contains(out, "benchgate: 0 compared (0 faster, 0 regressed), 3 new, 1 missing") {
+		t.Errorf("bad summary line:\n%s", out)
+	}
+}
+
+func TestReportDeterministic(t *testing.T) {
+	base := map[string]float64{"BenchmarkA": 1, "BenchmarkB": 2, "BenchmarkC": 3}
+	cur := map[string]float64{"BenchmarkB": 2, "BenchmarkD": 4, "BenchmarkE": 5}
+	first, _ := report(base, cur, 0.15)
+	for i := 0; i < 20; i++ {
+		again, _ := report(base, cur, 0.15)
+		if again != first {
+			t.Fatalf("report output varies across calls:\n%s\nvs\n%s", first, again)
+		}
+	}
+}

@@ -30,11 +30,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"flag"
 
 	"alpusim/internal/alpu"
 	"alpusim/internal/match"
+	"alpusim/internal/obs"
 	"alpusim/internal/profiling"
 	"alpusim/internal/sim"
 	"alpusim/internal/telemetry"
@@ -49,6 +51,8 @@ var (
 	metricsOut = flag.String("metrics", "", "write the device metrics snapshot JSON to this file (\"-\" = stdout)")
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
+	serveAddr  = flag.String("serve", "", "serve the live observability plane (/metrics, /healthz) on this address; the device counters are re-published after every command")
+	linger     = flag.Duration("linger", 0, "with -serve: keep the observability server up this long after the session ends")
 )
 
 const demoScript = `start
@@ -95,6 +99,30 @@ func main() {
 	fmt.Printf("ALPU %s: %d cells, block %d, %d-cycle pipeline at %.0f MHz\n",
 		v, *cells, *block, cfg.MatchCycles, cfg.Clock.Freq())
 
+	// The REPL is single-threaded, so the server never reads the device
+	// directly: after each command settles, the counters are harvested
+	// into a frozen snapshot the scrape handler serves from behind its
+	// own lock.
+	var srv *obs.Server
+	publish := func() {
+		if srv == nil {
+			return
+		}
+		reg := telemetry.NewRegistry()
+		dev.Publish(reg, "alpu")
+		srv.SetSnapshot(reg.Snapshot())
+	}
+	if *serveAddr != "" {
+		srv = obs.NewServer(obs.Options{})
+		addr, err := srv.Start(*serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "queueprobe: -serve:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "queueprobe: observability plane on http://%s\n", addr)
+		publish()
+	}
+
 	var in *bufio.Scanner
 	if *demo {
 		in = bufio.NewScanner(strings.NewReader(demoScript))
@@ -128,6 +156,7 @@ func main() {
 				fmt.Printf("[%9v] %v\n", eng.Now(), r.Kind)
 			}
 		}
+		publish()
 	}
 	if *tracePath != "" {
 		if err := writeOutput(*tracePath, tracer.WriteJSON); err != nil {
@@ -142,6 +171,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "queueprobe: -metrics:", err)
 			os.Exit(1)
 		}
+	}
+	if srv != nil {
+		if *linger > 0 {
+			fmt.Fprintf(os.Stderr, "queueprobe: session done; serving for another %v\n", *linger)
+			time.Sleep(*linger)
+		}
+		srv.Close()
 	}
 }
 

@@ -26,9 +26,11 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"alpusim/internal/network"
 	"alpusim/internal/nic"
+	"alpusim/internal/obs"
 	"alpusim/internal/profiling"
 	"alpusim/internal/sim"
 	"alpusim/internal/stats"
@@ -49,6 +51,8 @@ var (
 	metricsOut = flag.String("metrics", "", "write the merged metrics snapshot JSON to this file (\"-\" = stdout)")
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
+	serveAddr  = flag.String("serve", "", "serve the live observability plane (/metrics, /healthz, /progress) on this address while the studies run")
+	linger     = flag.Duration("linger", 0, "with -serve: keep the observability server up this long after the studies finish")
 )
 
 // faultyWatchdog bounds each study world when faults are injected; the
@@ -109,6 +113,19 @@ func main() {
 	if fm != nil {
 		opts = []workloads.Option{workloads.WithFaults(fm), workloads.WithWatchdog(faultyWatchdog)}
 	}
+	var srv *obs.Server
+	if *serveAddr != "" {
+		progress := sweep.NewProgress()
+		progress.SetLabel("queuestudy")
+		sweep.SetProgress(progress)
+		srv = obs.NewServer(obs.Options{Progress: progress})
+		addr, err := srv.Start(*serveAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "queuestudy: -serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "queuestudy: observability plane on http://%s\n", addr)
+	}
 
 	fmt.Printf("Application queue study (refs [8]/[9] methodology), ALPU cells=%d\n", *cells)
 	if fm != nil {
@@ -162,6 +179,11 @@ func main() {
 	reports := sweep.Map(*jobsFlag, len(runs), func(i int) workloads.Report { return runs[i]() })
 	for i := range studies {
 		studies[i].base, studies[i].accel = reports[2*i], reports[2*i+1]
+	}
+	if srv != nil {
+		for _, rep := range reports {
+			srv.MergeSnapshot(rep.Telemetry)
+		}
 	}
 
 	for _, s := range studies {
@@ -242,6 +264,13 @@ func main() {
 	fmt.Println("count for manager/worker and storm patterns (the paper's motivation);")
 	fmt.Println("the ALPU collapses software traversals and pays off exactly there,")
 	fmt.Println("while staying near-neutral for short-queue nearest-neighbour codes.")
+	if srv != nil {
+		if *linger > 0 {
+			fmt.Fprintf(os.Stderr, "queuestudy: studies done; serving for another %v\n", *linger)
+			time.Sleep(*linger)
+		}
+		srv.Close()
+	}
 }
 
 // writeOutput writes to path via write, with "-" meaning stdout.

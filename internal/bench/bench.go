@@ -55,6 +55,23 @@ func (k NICKind) String() string {
 // in observable behaviour; oracle_test.go enforces it per kind.
 var PerCycleALPU bool
 
+// WorldObserver, when set before any sweep starts, receives every
+// benchmark world after it has drained — the live observability hook:
+// alpusim -serve wires it to fold each world's telemetry snapshot into
+// the /metrics endpoint. Called from sweep worker goroutines, so the
+// observer must be safe for concurrent use; the world itself is
+// finished and exclusively owned by the caller. Observation happens
+// after all measured values are extracted and must not (and cannot)
+// change them.
+var WorldObserver func(w *mpi.World)
+
+// observeWorld hands a drained world to the observer, if any.
+func observeWorld(w *mpi.World) {
+	if f := WorldObserver; f != nil && w != nil {
+		f(w)
+	}
+}
+
 // NICConfig returns the nic.Config for a named configuration.
 func NICConfig(k NICKind) nic.Config {
 	switch k {
@@ -219,6 +236,7 @@ func prepostedPoint(cfg PrepostedConfig, q, p int) (sim.Time, *mpi.World) {
 		Telemetry: cfg.Telemetry, Tracer: cfg.Tracer, Phases: cfg.Phases,
 	}, progs)
 
+	observeWorld(w)
 	// Report the final iteration: cache and ALPU state have reached the
 	// steady state the paper's repeated-iteration benchmark measures.
 	return recvDone[iters-1] - sendStart[iters-1], w
@@ -301,5 +319,6 @@ func unexpectedPoint(cfg UnexpectedConfig, u int) (sim.Time, *mpi.World) {
 		Faults: cfg.Faults, WatchdogLimit: cfg.Watchdog,
 		Telemetry: cfg.Telemetry, Tracer: cfg.Tracer, Phases: cfg.Phases,
 	}, progs)
+	observeWorld(w)
 	return t1 - t0, w
 }

@@ -77,7 +77,7 @@ func gapPoint(cfg GapConfig, d, burst int) sim.Time {
 			lastDone = reqs[burst-1].DoneAt()
 		},
 	}
-	mpi.RunPrograms(mpi.Config{Ranks: 2, NIC: cfg.NIC}, progs)
+	observeWorld(mpi.RunPrograms(mpi.Config{Ranks: 2, NIC: cfg.NIC}, progs))
 	return (lastDone - firstDone) / sim.Time(burst-1)
 }
 

@@ -9,6 +9,9 @@ package mpi
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
+	"os"
 	"strings"
 
 	"alpusim/internal/host"
@@ -63,6 +66,24 @@ type Config struct {
 	Tracer *telemetry.Tracer
 	// Phases records per-message latency pipeline stamps.
 	Phases *telemetry.Phases
+
+	// FlightEvents sizes the world's flight recorder: a bounded ring of
+	// the most recent trace events, recorded even when no full Tracer is
+	// configured, so stall post-mortems show the event history rather
+	// than just counters. 0 selects telemetry.DefaultFlightEvents
+	// whenever a watchdog is armed or FlightDumpPath is set (and leaves
+	// recording off otherwise); < 0 disables recording outright. Ignored
+	// when Tracer is set — the full tracer already holds everything.
+	FlightEvents int
+	// FlightDumpPath, when set, is where the flight recorder is written
+	// as Perfetto-loadable trace JSON on watchdog expiry and on the
+	// first recoverable NIC protocol error.
+	FlightDumpPath string
+	// Log, when non-nil, receives structured diagnostics (watchdog
+	// expiry, recoverable protocol errors, flight dumps); every record
+	// is stamped with the simulated clock. Diagnostics never touch
+	// stdout, which belongs to experiment output.
+	Log *slog.Logger
 }
 
 // World is a built cluster.
@@ -77,6 +98,15 @@ type World struct {
 	Tel    *telemetry.Registry
 	Tracer *telemetry.Tracer
 	Phases *telemetry.Phases
+
+	// Flight is the recorder the world's components trace into: the
+	// bounded flight ring when no full tracer was configured, or the
+	// full tracer itself. Nil when recording is off.
+	Flight *telemetry.Tracer
+
+	log          *slog.Logger
+	flightPath   string
+	flightDumped bool
 
 	ranksLive int
 
@@ -104,26 +134,51 @@ func NewWorld(cfg Config) *World {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
+	// The recorder components trace into: the full tracer when one was
+	// configured, else a bounded flight ring when a watchdog or a dump
+	// path asks for post-mortem capture. The ring accepts the same
+	// instrumentation calls with O(N) memory, so it can stay on during
+	// chaos soaks without changing any simulated outcome.
+	rec := cfg.Tracer
+	if rec == nil && cfg.FlightEvents >= 0 {
+		n := cfg.FlightEvents
+		if n == 0 && (cfg.WatchdogLimit > 0 || cfg.FlightDumpPath != "") {
+			n = telemetry.DefaultFlightEvents
+		}
+		if n > 0 {
+			rec = telemetry.NewFlightRecorder(n)
+		}
+	}
 	w := &World{
-		Eng:      eng,
-		Net:      net,
-		Tel:      reg,
-		Tracer:   cfg.Tracer,
-		Phases:   cfg.Phases,
-		nextCtx:  worldContext,
-		ctxTable: make(map[string]uint16),
-		boards:   make(map[string][]any),
+		Eng:        eng,
+		Net:        net,
+		Tel:        reg,
+		Tracer:     cfg.Tracer,
+		Phases:     cfg.Phases,
+		Flight:     rec,
+		log:        telemetry.SimLogger(cfg.Log, eng.Now),
+		flightPath: cfg.FlightDumpPath,
+		nextCtx:    worldContext,
+		ctxTable:   make(map[string]uint16),
+		boards:     make(map[string][]any),
 	}
 	if cfg.Phases != nil {
 		net.SetPhases(cfg.Phases)
 	}
+	// Engine counter sampling only rides the full tracer: a sampler
+	// would flood the small flight ring with counter events and evict
+	// the firmware history a post-mortem is actually after.
 	telemetry.TraceEngine(eng, cfg.Tracer, 0)
 	for i := 0; i < cfg.Ranks; i++ {
 		nc := cfg.NIC
 		nc.ID = i
 		nc.Telemetry = reg
-		nc.Tracer = cfg.Tracer
+		nc.Tracer = rec
 		nc.Phases = cfg.Phases
+		nc.Log = w.log
+		if w.flightPath != "" {
+			nc.ErrorHook = func(error) { w.dumpFlight("protocol-error", false) }
+		}
 		n := nic.New(eng, nc, net)
 		w.NICs = append(w.NICs, n)
 		w.Hosts = append(w.Hosts, host.New(eng, i, n))
@@ -136,8 +191,55 @@ func NewWorld(cfg Config) *World {
 			b.WriteString(w.TelemetrySnapshot().Table())
 			return b.String()
 		}
+		wd.OnDump = func() {
+			if w.log != nil {
+				w.log.Error("watchdog expired", "limit", cfg.WatchdogLimit.String())
+			}
+			w.dumpFlight("watchdog", true)
+		}
 	}
 	return w
+}
+
+// WriteFlight writes the flight recorder's retained events as
+// Perfetto-loadable trace JSON. It errors when recording is off.
+func (w *World) WriteFlight(out io.Writer) error {
+	if w.Flight == nil {
+		return fmt.Errorf("mpi: no flight recorder configured")
+	}
+	return telemetry.WriteTrace(out, w.Flight)
+}
+
+// dumpFlight writes the flight recorder to the configured dump path.
+// Protocol errors dump once (the history leading to the *first* fault;
+// chaos runs note thousands); a watchdog expiry always dumps, replacing
+// any earlier error dump with the complete pre-stall history. Runs on
+// the simulation goroutine, so no locking is needed.
+func (w *World) dumpFlight(reason string, force bool) {
+	if w.flightPath == "" || w.Flight == nil || (w.flightDumped && !force) {
+		return
+	}
+	w.flightDumped = true
+	err := func() error {
+		f, err := os.Create(w.flightPath)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteTrace(f, w.Flight); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}()
+	if w.log == nil {
+		return
+	}
+	if err != nil {
+		w.log.Error("flight dump failed", "reason", reason, "path", w.flightPath, "err", err.Error())
+		return
+	}
+	w.log.Warn("flight recorder dumped", "reason", reason, "path", w.flightPath,
+		"events", w.Flight.Len(), "dropped", w.Flight.Dropped())
 }
 
 // TelemetrySnapshot harvests every component's counters into the world

@@ -17,6 +17,7 @@ package nic
 
 import (
 	"fmt"
+	"log/slog"
 
 	"alpusim/internal/alpu"
 	"alpusim/internal/dma"
@@ -118,6 +119,14 @@ type Config struct {
 	// counters under "nic<ID>/..."; nil creates a private registry so the
 	// accessors below always work (standalone NICs in tests).
 	Telemetry *telemetry.Registry
+	// Log, when non-nil, receives structured diagnostics (recoverable
+	// protocol errors). The MPI layer passes a logger whose handler
+	// stamps records with the simulated clock.
+	Log *slog.Logger
+	// ErrorHook, when set, observes every recoverable protocol error
+	// after it has been counted — the MPI layer's flight-recorder dump
+	// trigger. Called on the simulation goroutine.
+	ErrorHook func(err error)
 	// Tracer, when set, records firmware/ALPU/reliability activity as
 	// trace events under pid ID.
 	Tracer *telemetry.Tracer
@@ -418,6 +427,13 @@ func (n *NIC) noteError(err *ProtocolError) {
 	n.reg.Counter(fmt.Sprintf("nic%d/err/%s", n.cfg.ID, err.Op)).Inc()
 	n.errTotal++
 	n.lastErr = err
+	if n.cfg.Log != nil {
+		n.cfg.Log.Warn("recoverable protocol error",
+			"nic", n.cfg.ID, "op", err.Op, "err", err.Error())
+	}
+	if n.cfg.ErrorHook != nil {
+		n.cfg.ErrorHook(err)
+	}
 }
 
 // PostedDepths returns a copy of the posted-receive match-depth histogram

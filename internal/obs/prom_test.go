@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"alpusim/internal/telemetry"
+)
+
+func TestPromName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"nic0/rel/retransmits", "alpusim_nic0_rel_retransmits"},
+		{"alpu/search.hit", "alpusim_alpu_search_hit"},
+		{"already_legal:name", "alpusim_already_legal:name"},
+		{"0starts/with-digit", "alpusim_0starts_with_digit"}, // prefix keeps it legal
+		{"", "alpusim_"},
+		{"spaces and ünicode", "alpusim_spaces_and___nicode"}, // ü is 2 bytes, 2 underscores
+	}
+	for _, c := range cases {
+		if got := PromName(c.in); got != c.want {
+			t.Errorf("PromName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	if got := escapeLabel("a\\b\"c\nd"); got != `a\\b\"c\nd` {
+		t.Errorf("escapeLabel = %q", got)
+	}
+}
+
+// The golden exposition: one counter, one gauge, one histogram, rendered
+// byte-exactly. Guards family ordering, TYPE lines, and the cumulative
+// le-bucket shape end to end.
+func TestWritePromGolden(t *testing.T) {
+	r := telemetry.NewRegistry()
+	r.Counter("nic0/rel/retransmits").Add(5)
+	r.Gauge("queue/peak").Set(-2)
+	h := r.Histogram("depth")
+	h.Add(1)
+	h.Add(3)
+	h.Add(5000)
+
+	var b bytes.Buffer
+	if err := WriteProm(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE alpusim_nic0_rel_retransmits counter
+alpusim_nic0_rel_retransmits 5
+# TYPE alpusim_queue_peak gauge
+alpusim_queue_peak -2
+# TYPE alpusim_depth histogram
+alpusim_depth_bucket{le="0"} 0
+alpusim_depth_bucket{le="1"} 1
+alpusim_depth_bucket{le="2"} 1
+alpusim_depth_bucket{le="4"} 2
+alpusim_depth_bucket{le="8"} 2
+alpusim_depth_bucket{le="16"} 2
+alpusim_depth_bucket{le="32"} 2
+alpusim_depth_bucket{le="64"} 2
+alpusim_depth_bucket{le="128"} 2
+alpusim_depth_bucket{le="256"} 2
+alpusim_depth_bucket{le="512"} 2
+alpusim_depth_bucket{le="1024"} 2
+alpusim_depth_bucket{le="4096"} 2
+alpusim_depth_bucket{le="+Inf"} 3
+alpusim_depth_sum 5004
+alpusim_depth_count 3
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// Two paths that sanitize to the same metric name must each keep their
+// identity via a path label, in sorted path order.
+func TestWritePromCollision(t *testing.T) {
+	r := telemetry.NewRegistry()
+	r.Counter("a/b").Add(1)
+	r.Counter("a_b").Add(2)
+	var b bytes.Buffer
+	if err := WriteProm(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE alpusim_a_b counter\n" +
+		"alpusim_a_b{path=\"a/b\"} 1\n" +
+		"alpusim_a_b{path=\"a_b\"} 2\n"
+	if b.String() != want {
+		t.Errorf("collision rendering:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// Histogram buckets must be cumulative (monotone non-decreasing) and the
+// +Inf bucket must equal _count — the properties Prometheus consumers
+// assume when computing quantiles.
+func TestWritePromHistogramCumulative(t *testing.T) {
+	r := telemetry.NewRegistry()
+	h := r.Histogram("d")
+	for _, v := range []int{0, 0, 2, 7, 7, 100, 9999, 12} {
+		h.Add(v)
+	}
+	var b bytes.Buffer
+	if err := WriteProm(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	var inf, count uint64
+	var buckets int
+	for _, line := range strings.Split(b.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "alpusim_d_bucket"):
+			buckets++
+			v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			if v < prev {
+				t.Errorf("bucket counts not cumulative at %q (prev %d)", line, prev)
+			}
+			prev = v
+			if strings.Contains(line, `le="+Inf"`) {
+				inf = v
+			}
+		case strings.HasPrefix(line, "alpusim_d_count"):
+			count, _ = strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		}
+	}
+	if buckets != 14 {
+		t.Errorf("emitted %d buckets, want all 14", buckets)
+	}
+	if inf != 8 || count != 8 {
+		t.Errorf("+Inf bucket %d and _count %d must both equal 8", inf, count)
+	}
+}
+
+func TestWritePromEmptySnapshot(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteProm(&b, telemetry.Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("empty snapshot rendered output:\n%s", b.String())
+	}
+}

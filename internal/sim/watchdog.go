@@ -33,6 +33,10 @@ type Watchdog struct {
 	// OnFail handles the expiry; the default panics with *WatchdogError,
 	// which sweeps and tests can recover per world.
 	OnFail func(*WatchdogError)
+	// OnDump, when set, runs once at expiry before OnFail/panic — the
+	// hook the MPI layer uses to write the flight-recorder post-mortem
+	// while the world's final state is still intact.
+	OnDump func()
 
 	fired bool
 }
@@ -70,6 +74,9 @@ func (w *Watchdog) check() {
 			dump += "\n" + w.Diag()
 		}
 		err := &WatchdogError{Limit: w.limit, Dump: dump}
+		if w.OnDump != nil {
+			w.OnDump()
+		}
 		if w.OnFail != nil {
 			w.OnFail(err)
 			return

@@ -1,0 +1,131 @@
+package sweep
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress tracks live sweep completion for an external observer (the
+// observability HTTP server). The hot path touched by workers is two
+// atomic adds plus two time.Now calls per point — and nothing at all
+// when no Progress is installed, preserving the pool's zero-overhead
+// default. All times here are host wall-clock: progress is about the
+// operator's wait, not the simulated clock.
+type Progress struct {
+	mu     sync.Mutex
+	label  string // sticky base label applied to subsequently begun sweeps
+	sweeps []*SweepStatus
+
+	pointsTotal atomic.Int64
+	pointsDone  atomic.Int64
+	pointWallNs atomic.Int64 // summed per-point (per-world) wall time
+}
+
+// SweepStatus is the live state of one Map call.
+type SweepStatus struct {
+	owner   *Progress
+	label   string
+	total   int
+	startNs int64
+	done    atomic.Int64
+	endNs   atomic.Int64 // 0 while running
+}
+
+// active is the process-wide tracker consumed by Map. Installed once at
+// startup (before any sweeps run) when live observation is requested;
+// the nil default costs workers a single atomic load per sweep.
+var active atomic.Pointer[Progress]
+
+// NewProgress returns an empty tracker.
+func NewProgress() *Progress { return &Progress{} }
+
+// SetProgress installs p as the tracker observed by every subsequent Map
+// call (nil uninstalls). Call before launching sweeps.
+func SetProgress(p *Progress) { active.Store(p) }
+
+// SetLabel sets the label attached to sweeps begun from now on — the
+// experiment phase name ("fig5/alpu-256"). Labels are advisory display
+// strings; sweeps begun before the first SetLabel report "sweep".
+func (p *Progress) SetLabel(label string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.label = label
+	p.mu.Unlock()
+}
+
+// begin registers a sweep of n points and returns its live status (nil
+// when p is nil, so Map can guard all accounting with one check).
+func (p *Progress) begin(n int) *SweepStatus {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	st := &SweepStatus{owner: p, label: p.label, total: n, startNs: time.Now().UnixNano()}
+	if st.label == "" {
+		st.label = "sweep"
+	}
+	p.sweeps = append(p.sweeps, st)
+	p.mu.Unlock()
+	p.pointsTotal.Add(int64(n))
+	return st
+}
+
+// point records one completed point and its wall time; safe from any
+// worker goroutine, and a no-op on a nil status.
+func (st *SweepStatus) point(wall time.Duration) {
+	if st == nil {
+		return
+	}
+	st.owner.pointWallNs.Add(int64(wall))
+	st.owner.pointsDone.Add(1)
+	if st.done.Add(1) == int64(st.total) {
+		st.endNs.Store(time.Now().UnixNano())
+	}
+}
+
+// SweepSnapshot is the frozen state of one sweep.
+type SweepSnapshot struct {
+	Label       string `json:"label"`
+	Total       int    `json:"total"`
+	Done        int64  `json:"done"`
+	StartUnixNs int64  `json:"start_unix_ns"`
+	EndUnixNs   int64  `json:"end_unix_ns,omitempty"` // 0 while running
+}
+
+// ProgressSnapshot is the frozen state of the whole tracker.
+type ProgressSnapshot struct {
+	PointsTotal int64           `json:"points_total"`
+	PointsDone  int64           `json:"points_done"`
+	PointWallNs int64           `json:"point_wall_ns"`
+	Sweeps      []SweepSnapshot `json:"sweeps"`
+}
+
+// Snapshot freezes the tracker's current state. Counts are monotonically
+// non-decreasing between successive snapshots.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	var s ProgressSnapshot
+	if p == nil {
+		return s
+	}
+	p.mu.Lock()
+	sweeps := make([]*SweepStatus, len(p.sweeps))
+	copy(sweeps, p.sweeps)
+	p.mu.Unlock()
+	s.PointsTotal = p.pointsTotal.Load()
+	s.PointsDone = p.pointsDone.Load()
+	s.PointWallNs = p.pointWallNs.Load()
+	s.Sweeps = make([]SweepSnapshot, len(sweeps))
+	for i, st := range sweeps {
+		s.Sweeps[i] = SweepSnapshot{
+			Label:       st.label,
+			Total:       st.total,
+			Done:        st.done.Load(),
+			StartUnixNs: st.startNs,
+			EndUnixNs:   st.endNs.Load(),
+		}
+	}
+	return s
+}

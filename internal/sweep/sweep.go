@@ -17,6 +17,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Jobs normalises a worker-count setting: values <= 0 select
@@ -50,9 +51,10 @@ func Map[T any](jobs, n int, fn func(i int) T) []T {
 		jobs = n
 	}
 	out := make([]T, n)
+	st := active.Load().begin(n)
 	if jobs == 1 {
 		for i := range out {
-			out[i] = fn(i)
+			runTimed(st, func() { out[i] = fn(i) })
 		}
 		return out
 	}
@@ -73,7 +75,9 @@ func Map[T any](jobs, n int, fn func(i int) T) []T {
 				if i >= n {
 					return
 				}
-				runPoint(i, &failed, &firstP, func() { out[i] = fn(i) })
+				runPoint(i, &failed, &firstP, func() {
+					runTimed(st, func() { out[i] = fn(i) })
+				})
 			}
 		}()
 	}
@@ -82,6 +86,19 @@ func Map[T any](jobs, n int, fn func(i int) T) []T {
 		panic(fmt.Sprintf("sweep: point %d panicked: %v\n%s", pr.index, pr.value, pr.stack))
 	}
 	return out
+}
+
+// runTimed runs one point, reporting completion and wall time to the
+// live tracker when one is installed; the nil-status path adds nothing
+// beyond this call.
+func runTimed(st *SweepStatus, run func()) {
+	if st == nil {
+		run()
+		return
+	}
+	t0 := time.Now()
+	run()
+	st.point(time.Since(t0))
 }
 
 // runPoint executes one point, converting a panic into a recorded failure.

@@ -228,10 +228,17 @@ func (s *Snapshot) Merge(other Snapshot) {
 func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
 
 // Sum totals every counter whose slash-separated name contains path as a
-// consecutive run of segments: Sum("rel/retransmits") folds
+// consecutive run of complete segments: Sum("rel/retransmits") folds
 // "nic0/rel/retransmits" across all NICs, Sum("err") folds every
-// protocol-error counter.
+// protocol-error counter. Leading and trailing separators in path are
+// ignored ("rel/" sums the same counters as "rel"); an empty path — or
+// one that is only separators — matches nothing, so a fold of everything
+// must be written explicitly.
 func (s Snapshot) Sum(path string) uint64 {
+	path = strings.Trim(path, "/")
+	if path == "" {
+		return 0
+	}
 	var total uint64
 	for name, v := range s.Counters {
 		if pathMatch(name, path) {
@@ -241,11 +248,23 @@ func (s Snapshot) Sum(path string) uint64 {
 	return total
 }
 
+// pathMatch reports whether path occurs in name as a run of complete
+// segments. The boundary checks are what keep "nic0/rel" from matching
+// "nic0/relx/acks": every occurrence must start and end on a separator
+// (or a name edge), not merely be a substring.
 func pathMatch(name, path string) bool {
-	return name == path ||
-		strings.HasPrefix(name, path+"/") ||
-		strings.HasSuffix(name, "/"+path) ||
-		strings.Contains(name, "/"+path+"/")
+	for from := 0; ; {
+		i := strings.Index(name[from:], path)
+		if i < 0 {
+			return false
+		}
+		i += from
+		end := i + len(path)
+		if (i == 0 || name[i-1] == '/') && (end == len(name) || name[end] == '/') {
+			return true
+		}
+		from = i + 1
+	}
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -155,10 +155,43 @@ func TestSnapshotSum(t *testing.T) {
 		{"rel", 12},                 // "relx" must not match
 		{"missing", 0},              //
 		{"relx/other", 100},         // exact still works
+		{"", 0},                     // empty path matches nothing, not everything
+		{"/", 0},                    // separator-only likewise
+		{"rel/", 12},                // trailing separator is forgiven
+		{"/nic0", 10},               // leading separator likewise
+		{"/nic0/rel/", 9},           // both at once
+		{"el/retransmits", 0},       // mid-segment start must not match
+		{"nic0/rel/retransmit", 0},  // mid-segment end must not match
 	}
 	for _, c := range cases {
 		if got := s.Sum(c.path); got != c.want {
 			t.Errorf("Sum(%q) = %d, want %d", c.path, got, c.want)
+		}
+	}
+}
+
+// pathMatch must anchor every occurrence on segment boundaries, and keep
+// scanning past a mid-segment hit to find a later aligned one.
+func TestPathMatch(t *testing.T) {
+	cases := []struct {
+		name, path string
+		want       bool
+	}{
+		{"nic0/rel/retransmits", "rel", true},
+		{"nic0/relx/retransmits", "rel", false}, // prefix collision
+		{"nic0/xrel/retransmits", "rel", false}, // suffix collision
+		{"nic0/rel", "rel", true},               // at the end
+		{"rel/retransmits", "rel", true},        // at the start
+		{"rel", "rel", true},                    // whole name
+		{"relx/rel", "rel", true},               // misaligned hit first, aligned later
+		{"a/brel/relb/rel/z", "rel", true},      // two misaligned hits before the real one
+		{"a/brel/relb", "rel", false},           // only misaligned hits
+		{"nic0/rel/x", "rel/x", true},           // multi-segment path
+		{"nic0/relx/x", "rel/x", false},         //
+	}
+	for _, c := range cases {
+		if got := pathMatch(c.name, c.path); got != c.want {
+			t.Errorf("pathMatch(%q, %q) = %v, want %v", c.name, c.path, got, c.want)
 		}
 	}
 }

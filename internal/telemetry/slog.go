@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+
+	"alpusim/internal/sim"
+)
+
+// simHandler wraps a slog handler and stamps every record with the
+// world's simulated clock, so structured diagnostics line up with trace
+// timestamps instead of wall time.
+type simHandler struct {
+	base slog.Handler
+	now  func() sim.Time
+}
+
+func (h simHandler) Enabled(ctx context.Context, lvl slog.Level) bool {
+	return h.base.Enabled(ctx, lvl)
+}
+
+func (h simHandler) Handle(ctx context.Context, r slog.Record) error {
+	r.AddAttrs(slog.String("t_sim", h.now().String()))
+	return h.base.Handle(ctx, r)
+}
+
+func (h simHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return simHandler{base: h.base.WithAttrs(attrs), now: h.now}
+}
+
+func (h simHandler) WithGroup(name string) slog.Handler {
+	return simHandler{base: h.base.WithGroup(name), now: h.now}
+}
+
+// SimLogger derives a logger that appends a t_sim attribute (the
+// simulated clock at the moment of logging) to every record of base.
+// A nil base returns nil, preserving the nil-logger-is-off convention
+// used throughout the simulator: instrumentation sites guard with
+// `if log != nil`.
+func SimLogger(base *slog.Logger, now func() sim.Time) *slog.Logger {
+	if base == nil || now == nil {
+		return base
+	}
+	return slog.New(simHandler{base: base.Handler(), now: now})
+}

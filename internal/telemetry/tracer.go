@@ -21,6 +21,14 @@ import (
 type Tracer struct {
 	events []tevent
 	names  []tname
+
+	// Flight-recorder mode (NewFlightRecorder): limit bounds events to a
+	// ring of the most recent limit entries; start indexes the oldest
+	// retained event once the ring has wrapped; dropped counts overwritten
+	// events. limit == 0 is the ordinary unbounded tracer.
+	limit   int
+	start   int
+	dropped uint64
 }
 
 type tevent struct {
@@ -40,6 +48,61 @@ type tname struct {
 
 // NewTracer returns an empty tracer.
 func NewTracer() *Tracer { return &Tracer{} }
+
+// DefaultFlightEvents is the flight-recorder ring size used when a world
+// arms a watchdog without choosing one: deep enough to hold the last few
+// firmware round-trips of every NIC in a stalled world, small enough that
+// a full ring is a few hundred kilobytes.
+const DefaultFlightEvents = 4096
+
+// NewFlightRecorder returns a tracer that keeps only the most recent n
+// events in a preallocated ring — the always-on post-mortem recorder. It
+// accepts the same Span/Instant/Count calls as a full tracer at the cost
+// of one bounds check (no allocation once the ring is full), so worlds
+// can record continuously even when full tracing is off. n <= 0 selects
+// DefaultFlightEvents.
+func NewFlightRecorder(n int) *Tracer {
+	if n <= 0 {
+		n = DefaultFlightEvents
+	}
+	return &Tracer{limit: n, events: make([]tevent, 0, n)}
+}
+
+// Dropped returns the number of events overwritten by the flight ring (0
+// for a nil or unbounded tracer).
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// add appends an event, overwriting the oldest one when the tracer is a
+// full flight ring.
+func (t *Tracer) add(e tevent) {
+	if t.limit > 0 && len(t.events) == t.limit {
+		t.events[t.start] = e
+		t.start++
+		if t.start == t.limit {
+			t.start = 0
+		}
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// eventAt returns the i-th retained event in chronological (record)
+// order, accounting for ring wraparound.
+func (t *Tracer) eventAt(i int) tevent {
+	if t.start > 0 {
+		i += t.start
+		if i >= len(t.events) {
+			i -= len(t.events)
+		}
+	}
+	return t.events[i]
+}
 
 // NameProcess attaches a display name to a pid track (e.g. "nic0").
 func (t *Tracer) NameProcess(pid int, name string) {
@@ -64,7 +127,7 @@ func (t *Tracer) Span(pid, tid int, cat, name string, start, end sim.Time) {
 	if end < start {
 		end = start
 	}
-	t.events = append(t.events, tevent{ph: 'X', name: name, cat: cat,
+	t.add(tevent{ph: 'X', name: name, cat: cat,
 		pid: pid, tid: tid, ts: start, dur: end - start})
 }
 
@@ -73,7 +136,7 @@ func (t *Tracer) Instant(pid, tid int, cat, name string, at sim.Time) {
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, tevent{ph: 'i', name: name, cat: cat,
+	t.add(tevent{ph: 'i', name: name, cat: cat,
 		pid: pid, tid: tid, ts: at})
 }
 
@@ -82,7 +145,7 @@ func (t *Tracer) Count(pid, tid int, name string, at sim.Time, v int64) {
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, tevent{ph: 'C', name: name,
+	t.add(tevent{ph: 'C', name: name,
 		pid: pid, tid: tid, ts: at, val: v})
 }
 
@@ -133,7 +196,8 @@ func WriteTrace(w io.Writer, tracers ...*Tracer) error {
 			emit(fmt.Sprintf(`{"name":%q,"ph":"M","pid":%d%s,"args":{"name":%s}}`,
 				kind, n.pid+off, tidField, strconv.Quote(n.name)))
 		}
-		for _, e := range t.events {
+		for i := 0; i < len(t.events); i++ {
+			e := t.eventAt(i)
 			switch e.ph {
 			case 'X':
 				emit(fmt.Sprintf(`{"name":%s,"cat":%q,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d}`,

@@ -99,6 +99,75 @@ func TestWriteTraceEmpty(t *testing.T) {
 	}
 }
 
+// A flight recorder keeps only the newest N events; WriteJSON renders
+// them oldest-first so the dump reads as a normal (truncated) trace.
+func TestFlightRecorderRing(t *testing.T) {
+	tr := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		tr.Instant(0, 0, "c", "e", sim.Time(i)*sim.Microsecond)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	var b bytes.Buffer
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Ts float64 `json:"ts"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &events); err != nil {
+		t.Fatalf("flight dump is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(events) != 4 {
+		t.Fatalf("dumped %d events, want 4", len(events))
+	}
+	// The survivors are the last four, in chronological order.
+	for i, e := range events {
+		if want := float64(6 + i); e.Ts != want {
+			t.Errorf("event %d ts = %v, want %v (ring not chronological)", i, e.Ts, want)
+		}
+	}
+}
+
+func TestFlightRecorderUnderfilled(t *testing.T) {
+	tr := NewFlightRecorder(8)
+	tr.Instant(0, 0, "c", "a", 0)
+	tr.Instant(0, 0, "c", "b", sim.Microsecond)
+	if tr.Len() != 2 || tr.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d, want 2 and 0", tr.Len(), tr.Dropped())
+	}
+	var b bytes.Buffer
+	if err := WriteTrace(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(b.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != 2 || events[0]["name"] != "a" || events[1]["name"] != "b" {
+		t.Errorf("underfilled ring misrendered: %v", events)
+	}
+}
+
+// Metadata (process/thread names) must survive the ring: a dump without
+// them would lose its Perfetto track labels.
+func TestFlightRecorderKeepsMetadata(t *testing.T) {
+	tr := NewFlightRecorder(2)
+	tr.NameProcess(0, "nic0")
+	for i := 0; i < 50; i++ {
+		tr.Span(0, 0, "fw", "op", sim.Time(i), sim.Time(i+1))
+	}
+	var b bytes.Buffer
+	tr.WriteJSON(&b)
+	if !strings.Contains(b.String(), `"nic0"`) {
+		t.Errorf("process name evicted from flight dump:\n%s", b.String())
+	}
+}
+
 // TraceEngine samples the scheduler's counters while events remain and
 // stops re-arming once the world drains.
 func TestTraceEngine(t *testing.T) {

@@ -136,6 +136,34 @@ func (h *Histogram) Buckets() []struct {
 	return out
 }
 
+// CumBucket is one cumulative histogram bucket: Count observations with
+// value <= Le. Le < 0 denotes the +Inf overflow bucket.
+type CumBucket struct {
+	Le    int
+	Count uint64
+}
+
+// CumBuckets returns every bucket (including empty ones) in ascending
+// edge order with cumulative counts — the Prometheus exposition shape,
+// where each le="..." sample counts all observations at or below the
+// edge and the final +Inf bucket equals N().
+func (h *Histogram) CumBuckets() []CumBucket {
+	out := make([]CumBucket, len(h.counts))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		le := -1
+		if i < len(bucketEdges) {
+			le = bucketEdges[i]
+		}
+		out[i] = CumBucket{Le: le, Count: cum}
+	}
+	return out
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
 // Series records a time series of (time, value) samples with bounded
 // memory (it keeps every k-th sample once full).
 type Series struct {
