@@ -16,15 +16,26 @@
 //	chaos          the figure workloads over a faulty network: injected
 //	               faults vs the NIC reliability protocol's recovery stats
 //	bench          wall-clock harness: times every figure sweep at -jobs 1
-//	               and -jobs N and writes BENCH.json with the speedups
+//	               and -jobs N and appends a timestamped record with the
+//	               speedups and micro-benchmarks to BENCH.json
+//	scale          conservative-PDES scaling study: a large halo-exchange
+//	               world run on the serial engine and again split across
+//	               -par partitions, with wall-clock speedup
 //	stall          forces a watchdog stall (endless ping-pong world) and
 //	               writes the flight-recorder post-mortem (-flightdump)
-//	all            everything above except chaos, bench and stall
+//	all            everything above except chaos, bench, scale and stall
 //
 // Flags: -quick shrinks the sweeps (~10x faster), -format csv emits
 // machine-readable series instead of tables, -jobs N fans the independent
 // simulation worlds of each sweep across N workers (results are
 // byte-identical at any setting; -jobs 1 is fully sequential).
+//
+// -par N runs every simulated world as a conservative parallel simulation
+// over N per-rank partitions (mpi.Config.Partitions): per-partition event
+// engines synchronized by the wire-latency lookahead. Output is
+// byte-identical for every -par N >= 1 — including chaos runs, phase
+// tables, traces and metrics — so the determinism CI diffs -par 1 against
+// -par 8. -par 0 (default) keeps the classic serial engine.
 //
 // Fault injection: -faults installs a network fault model for experiments
 // that support one (chaos, phases): either one probability for all
@@ -47,6 +58,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -69,6 +81,7 @@ import (
 	"alpusim/internal/stats"
 	"alpusim/internal/sweep"
 	"alpusim/internal/telemetry"
+	"alpusim/internal/workloads"
 )
 
 var (
@@ -77,6 +90,7 @@ var (
 	format     = flag.String("format", "table", "output format: table or csv")
 	msgSize    = flag.Int("size", 0, "message payload bytes for fig5/fig6")
 	jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation worlds per sweep (1 = sequential)")
+	par        = flag.Int("par", 0, "partitions per simulated world: conservative parallel simulation on per-partition engines (0 = serial engine; output is identical for any value >= 1)")
 	benchOut   = flag.String("benchout", "BENCH.json", "output path for -experiment bench")
 	faultSpec  = flag.String("faults", "", "fault model: a probability (\"0.02\") or class=prob pairs (\"drop=0.01,dup=0.01,reorder=0.02,corrupt=0.005\")")
 	faultSeed  = flag.Int64("seed", 1, "fault-injection seed (same seed => byte-identical run)")
@@ -174,6 +188,8 @@ func main() {
 		chaosExp()
 	case "bench":
 		benchHarness()
+	case "scale":
+		scaleExp()
 	case "stall":
 		stallExp()
 	case "all":
@@ -211,6 +227,7 @@ func stallExp() {
 	w := mpi.NewWorld(mpi.Config{
 		Ranks:          2,
 		NIC:            bench.NICConfig(bench.Baseline),
+		Partitions:     *par,
 		WatchdogLimit:  limit,
 		FlightDumpPath: *flightDump,
 		Log:            diagLog,
@@ -241,10 +258,11 @@ func stallExp() {
 			panic(r)
 		}
 		fmt.Printf("stall: watchdog expired at %v (as intended)\n", we.Limit)
+		events, dropped := w.FlightStats()
 		fmt.Printf("stall: flight recorder dumped %d events to %s (%d older events dropped by the ring)\n",
-			w.Flight.Len(), *flightDump, w.Flight.Dropped())
+			events, *flightDump, dropped)
 	}()
-	w.Eng.Run()
+	w.RunSim()
 }
 
 func queueLens() []int {
@@ -310,11 +328,12 @@ func fig5(kind bench.NICKind) {
 	obsLabel(fmt.Sprintf("fig5-%s", kind))
 	fmt.Printf("Fig. 5 surface: %s NIC, %d-byte messages (one-way latency, ns)\n", kind, *msgSize)
 	pts := bench.RunPreposted(bench.PrepostedConfig{
-		NIC:       bench.NICConfig(kind),
-		QueueLens: queueLens(),
-		Fracs:     fracs(),
-		MsgSize:   *msgSize,
-		Jobs:      *jobs,
+		NIC:        bench.NICConfig(kind),
+		QueueLens:  queueLens(),
+		Fracs:      fracs(),
+		MsgSize:    *msgSize,
+		Jobs:       *jobs,
+		Partitions: *par,
 	})
 	if *format == "csv" {
 		rows := make([][]any, 0, len(pts))
@@ -376,10 +395,11 @@ func fig6() {
 	series := map[bench.NICKind]map[int]bench.UnexpectedPoint{}
 	for _, k := range kinds {
 		series[k] = unexpectedByQ(bench.RunUnexpected(bench.UnexpectedConfig{
-			NIC:       bench.NICConfig(k),
-			QueueLens: unexpLens(),
-			MsgSize:   *msgSize,
-			Jobs:      *jobs,
+			NIC:        bench.NICConfig(k),
+			QueueLens:  unexpLens(),
+			MsgSize:    *msgSize,
+			Jobs:       *jobs,
+			Partitions: *par,
 		}))
 	}
 	if *format == "csv" {
@@ -439,7 +459,7 @@ func gapExp() {
 	series := map[string]map[int]bench.GapPoint{}
 	for _, c := range configs {
 		byDepth := make(map[int]bench.GapPoint, len(depths))
-		for _, p := range bench.RunGap(bench.GapConfig{NIC: c.nic, Depths: depths, Jobs: *jobs}) {
+		for _, p := range bench.RunGap(bench.GapConfig{NIC: c.nic, Depths: depths, Jobs: *jobs, Partitions: *par}) {
 			byDepth[p.Depth] = p
 		}
 		series[c.name] = byDepth
@@ -461,8 +481,8 @@ func gapExp() {
 	fmt.Println()
 }
 
-// benchResult is one BENCH.json entry: the same sweep timed sequentially
-// and with the worker pool.
+// benchResult is one experiment entry of a BENCH.json record: the same
+// sweep timed sequentially and with the worker pool.
 type benchResult struct {
 	Experiment    string  `json:"experiment"`
 	Points        int     `json:"points"`
@@ -471,27 +491,79 @@ type benchResult struct {
 	Speedup       float64 `json:"speedup"`
 }
 
-// benchReport is the BENCH.json document: a per-experiment wall-clock
+// benchSchema versions the benchReport layout. Version 2 turned
+// BENCH.json into an append-only array of timestamped records and added
+// the -par setting and the event-queue micro-benchmarks; the original
+// layout (a single bare record, implicitly version 1) is migrated in
+// place by appendBenchRecord.
+const benchSchema = 2
+
+// benchReport is one BENCH.json record: a per-experiment wall-clock
 // trajectory future PRs can diff against.
 type benchReport struct {
-	Quick       bool          `json:"quick"`
-	Jobs        int           `json:"jobs"`
+	Schema     int    `json:"schema"`
+	RecordedAt string `json:"recorded_at"` // RFC 3339 UTC
+	Quick      bool   `json:"quick"`
+	Jobs       int    `json:"jobs"`
+	// Par is the -par setting the sweeps ran with (partitions per world;
+	// 0 = serial engine).
+	Par         int           `json:"par"`
 	NumCPU      int           `json:"num_cpu"`
 	GoMaxProcs  int           `json:"gomaxprocs"`
 	Experiments []benchResult `json:"experiments"`
 	// ALPUMicro holds the device micro-benchmarks (internal/alpu
 	// MicroCases): host ns/op and allocs/op of simulating one insert,
 	// search, or compaction drain per geometry.
-	ALPUMicro   []alpu.MicroResult `json:"alpu_micro"`
-	TotalSeqSec float64            `json:"total_sequential_sec"`
-	TotalParSec float64            `json:"total_parallel_sec"`
-	Speedup     float64            `json:"speedup"`
+	ALPUMicro []alpu.MicroResult `json:"alpu_micro"`
+	// QueueMicro holds the event-kernel micro-benchmarks (internal/sim
+	// QueueMicroCases): schedule/step and cancellation costs of the heap
+	// and ladder queues, plus the partition-runner barrier overhead.
+	QueueMicro  []sim.MicroResult `json:"queue_micro"`
+	TotalSeqSec float64           `json:"total_sequential_sec"`
+	TotalParSec float64           `json:"total_parallel_sec"`
+	Speedup     float64           `json:"speedup"`
+}
+
+// appendBenchRecord appends rep to the BENCH.json record array (newest
+// last) so successive runs accumulate a wall-clock history instead of
+// overwriting it. A legacy file holding a single bare report object
+// becomes the array's first record.
+func appendBenchRecord(path string, rep benchReport) error {
+	var records []json.RawMessage
+	if data, err := os.ReadFile(path); err == nil {
+		data = bytes.TrimSpace(data)
+		switch {
+		case len(data) == 0:
+		case data[0] == '[':
+			if err := json.Unmarshal(data, &records); err != nil {
+				return fmt.Errorf("existing %s: %w", path, err)
+			}
+		default:
+			var legacy json.RawMessage
+			if err := json.Unmarshal(data, &legacy); err != nil {
+				return fmt.Errorf("existing %s: %w", path, err)
+			}
+			records = append(records, legacy)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	rec, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	records = append(records, rec)
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // benchHarness times the full Fig. 5 + Fig. 6 + gap sweeps at -jobs 1 and
-// at -jobs N and writes BENCH.json. The sweeps are the ones the figure
-// experiments run (honouring -quick); output tables are skipped so the
-// numbers measure simulation, not rendering.
+// at -jobs N and appends the record to BENCH.json. The sweeps are the
+// ones the figure experiments run (honouring -quick and -par); output
+// tables are skipped so the numbers measure simulation, not rendering.
 func benchHarness() {
 	obsLabel("bench")
 	parJobs := *jobs
@@ -502,11 +574,12 @@ func benchHarness() {
 	fig5 := func(kind bench.NICKind) func(int) int {
 		return func(jobs int) int {
 			return len(bench.RunPreposted(bench.PrepostedConfig{
-				NIC:       bench.NICConfig(kind),
-				QueueLens: queueLens(),
-				Fracs:     fracs(),
-				MsgSize:   *msgSize,
-				Jobs:      jobs,
+				NIC:        bench.NICConfig(kind),
+				QueueLens:  queueLens(),
+				Fracs:      fracs(),
+				MsgSize:    *msgSize,
+				Jobs:       jobs,
+				Partitions: *par,
 			}))
 		}
 	}
@@ -519,6 +592,7 @@ func benchHarness() {
 			for _, k := range []bench.NICKind{bench.Baseline, bench.ALPU128, bench.ALPU256} {
 				n += len(bench.RunUnexpected(bench.UnexpectedConfig{
 					NIC: bench.NICConfig(k), QueueLens: unexpLens(), MsgSize: *msgSize, Jobs: jobs,
+					Partitions: *par,
 				}))
 			}
 			return n
@@ -535,15 +609,18 @@ func benchHarness() {
 				bench.NICConfig(bench.ALPU256),
 				bench.ElanNICConfig(),
 			} {
-				n += len(bench.RunGap(bench.GapConfig{NIC: c, Depths: depths, Jobs: jobs}))
+				n += len(bench.RunGap(bench.GapConfig{NIC: c, Depths: depths, Jobs: jobs, Partitions: *par}))
 			}
 			return n
 		}},
 	}
 
 	rep := benchReport{
+		Schema:     benchSchema,
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
 		Quick:      *quick,
 		Jobs:       parJobs,
+		Par:        *par,
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
@@ -571,17 +648,52 @@ func benchHarness() {
 	for _, m := range rep.ALPUMicro {
 		fmt.Printf("micro %-32s %9.0f ns/op  %d allocs/op\n", m.Name, m.NsPerOp, m.AllocsPerOp)
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "alpusim: marshal bench report: %v\n", err)
+	rep.QueueMicro = sim.RunQueueMicroBenchmarks()
+	for _, m := range rep.QueueMicro {
+		fmt.Printf("micro %-32s %9.0f ns/op  %d allocs/op\n", m.Name, m.NsPerOp, m.AllocsPerOp)
+	}
+	if err := appendBenchRecord(*benchOut, rep); err != nil {
+		fmt.Fprintf(os.Stderr, "alpusim: bench report: %v\n", err)
 		os.Exit(1)
 	}
-	if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "alpusim: write %s: %v\n", *benchOut, err)
-		os.Exit(1)
-	}
-	fmt.Printf("total: seq %.2fs, par %.2fs, %.2fx -> %s\n",
+	fmt.Printf("total: seq %.2fs, par %.2fs, %.2fx -> appended to %s\n",
 		rep.TotalSeqSec, rep.TotalParSec, rep.Speedup, *benchOut)
+}
+
+// scaleExp measures what the partitioned engines buy: one large
+// halo-exchange world run to completion on the serial engine and again
+// split across -par partitions (default GOMAXPROCS). The simulated
+// behaviour is identical; only the wall clock moves, and the speedup
+// tracks the number of physical cores — on a single-core box the
+// partitioned run can only show the synchronization overhead.
+func scaleExp() {
+	obsLabel("scale")
+	ranks, iters := 64, 48
+	if *quick {
+		iters = 8
+	}
+	parts := *par
+	if parts <= 0 {
+		parts = runtime.GOMAXPROCS(0)
+	}
+	nicCfg := bench.NICConfig(bench.ALPU128)
+	run := func(opts ...workloads.Option) (workloads.Report, float64) {
+		t0 := time.Now()
+		rep := workloads.Halo(nicCfg, ranks, iters, 1024, 8, opts...)
+		return rep, time.Since(t0).Seconds()
+	}
+	serialRep, serialSec := run()
+	parRep, parSec := run(workloads.WithPartitions(parts))
+	fmt.Printf("Scaling study: halo exchange, %d ranks x %d iters, alpu-128 NIC\n", ranks, iters)
+	tb := stats.NewTable("engine", "wall-clock s", "simulated time")
+	tb.AddRow("serial", fmt.Sprintf("%.3f", serialSec), serialRep.Elapsed.String())
+	tb.AddRow(fmt.Sprintf("par-%d", parts), fmt.Sprintf("%.3f", parSec), parRep.Elapsed.String())
+	tb.Render(os.Stdout)
+	if parSec > 0 {
+		fmt.Printf("wall-clock speedup %.2fx at %d partitions on %d CPU core(s)\n",
+			serialSec/parSec, parts, runtime.NumCPU())
+	}
+	fmt.Println()
 }
 
 // phasesLens is smaller than the figure sweeps: the breakdown is about
@@ -627,11 +739,12 @@ func phasesExp() {
 		}
 	}
 	pts := bench.RunPhases(bench.PhasesConfig{
-		QueueLens: phasesLens(),
-		MsgSize:   *msgSize,
-		Jobs:      *jobs,
-		Faults:    fm,
-		Trace:     *tracePath != "",
+		QueueLens:  phasesLens(),
+		MsgSize:    *msgSize,
+		Jobs:       *jobs,
+		Partitions: *par,
+		Faults:     fm,
+		Trace:      *tracePath != "",
 	})
 	if *format == "csv" {
 		header := []string{"nic", "queue_len"}
@@ -695,6 +808,7 @@ func chaosExp() {
 		results := bench.RunChaos(bench.ChaosConfig{
 			NIC: bench.NICConfig(kind), Seed: *faultSeed,
 			Mixes: mixes, MsgSize: *msgSize, Jobs: *jobs,
+			Partitions: *par,
 		})
 		bench.RenderChaos(os.Stdout, results)
 		fmt.Println()
@@ -706,16 +820,16 @@ func anchors() {
 	fmt.Println("Measured vs published anchors (§VI-B, §VI-C)")
 	qls := []int{0, 5, 25, 50, 100, 150, 200, 350, 400, 450, 500}
 	base := bench.RunPreposted(bench.PrepostedConfig{
-		NIC: bench.NICConfig(bench.Baseline), QueueLens: qls, Fracs: []float64{0.8, 1.0}, Jobs: *jobs,
+		NIC: bench.NICConfig(bench.Baseline), QueueLens: qls, Fracs: []float64{0.8, 1.0}, Jobs: *jobs, Partitions: *par,
 	})
 	al := bench.RunPreposted(bench.PrepostedConfig{
-		NIC: bench.NICConfig(bench.ALPU256), QueueLens: qls, Fracs: []float64{1.0}, Jobs: *jobs,
+		NIC: bench.NICConfig(bench.ALPU256), QueueLens: qls, Fracs: []float64{1.0}, Jobs: *jobs, Partitions: *par,
 	})
 	a5 := bench.ExtractFig5(base, al, 256)
 
 	uls := []int{0, 25, 50, 60, 70, 80, 90, 100, 150}
-	b6 := bench.RunUnexpected(bench.UnexpectedConfig{NIC: bench.NICConfig(bench.Baseline), QueueLens: uls, Jobs: *jobs})
-	a6x := bench.RunUnexpected(bench.UnexpectedConfig{NIC: bench.NICConfig(bench.ALPU256), QueueLens: uls, Jobs: *jobs})
+	b6 := bench.RunUnexpected(bench.UnexpectedConfig{NIC: bench.NICConfig(bench.Baseline), QueueLens: uls, Jobs: *jobs, Partitions: *par})
+	a6x := bench.RunUnexpected(bench.UnexpectedConfig{NIC: bench.NICConfig(bench.ALPU256), QueueLens: uls, Jobs: *jobs, Partitions: *par})
 	a6 := bench.ExtractFig6(b6, a6x)
 
 	tb := stats.NewTable("Anchor", "Paper", "Measured")

@@ -5,7 +5,7 @@
 // ALPU does to traversal work and completion time.
 //
 //	queuestudy [-ranks 4,8,16] [-workload all|halo|master|storm|sweep|irregular] [-cells 128] [-jobs N]
-//	           [-faults drop=0.01,corrupt=0.01] [-seed N] [-breakdown] [-trace FILE] [-metrics FILE]
+//	           [-par N] [-faults drop=0.01,corrupt=0.01] [-seed N] [-breakdown] [-trace FILE] [-metrics FILE]
 //
 // With -faults every study runs over a faulty network with the NIC
 // reliability protocol recovering; a second table reports what the
@@ -16,6 +16,10 @@
 // study world (load at ui.perfetto.dev); -metrics FILE writes the merged
 // metrics-registry snapshot as JSON. "-" means stdout. All outputs are
 // byte-identical at any -jobs setting.
+//
+// -par N splits every study world into N per-rank partitions run as a
+// conservative parallel simulation (see alpusim -help); every output is
+// byte-identical for any -par N >= 1, with 0 keeping the serial engine.
 package main
 
 import (
@@ -44,6 +48,7 @@ var (
 	workload   = flag.String("workload", "all", "halo, master, storm, sweep, irregular, or all")
 	cells      = flag.Int("cells", 128, "ALPU cells for the accelerated runs")
 	jobsFlag   = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation worlds (1 = sequential)")
+	parFlag    = flag.Int("par", 0, "partitions per study world: conservative parallel simulation (0 = serial engine; output identical for any value >= 1)")
 	faultSpec  = flag.String("faults", "", "fault model: a probability or class=prob pairs (see alpusim -help)")
 	faultSeed  = flag.Int64("seed", 1, "fault-injection seed")
 	breakdown  = flag.Bool("breakdown", false, "report mean per-message latency phases per study")
@@ -112,6 +117,9 @@ func main() {
 	var opts []workloads.Option
 	if fm != nil {
 		opts = []workloads.Option{workloads.WithFaults(fm), workloads.WithWatchdog(faultyWatchdog)}
+	}
+	if *parFlag > 0 {
+		opts = append(opts, workloads.WithPartitions(*parFlag))
 	}
 	var srv *obs.Server
 	if *serveAddr != "" {

@@ -108,6 +108,10 @@ type PrepostedConfig struct {
 	// 0 or 1 runs sequentially; < 0 selects runtime.GOMAXPROCS(0).
 	Jobs int
 
+	// Partitions runs each point's world under conservative parallel
+	// simulation (mpi.Config.Partitions); 0 keeps the serial engine.
+	Partitions int
+
 	// Faults, when non-nil, runs each point's world over a faulty network
 	// (the NIC reliability protocol is forced on); Watchdog bounds the
 	// simulated time of such worlds (0 = none). Used by the chaos harness.
@@ -231,7 +235,7 @@ func prepostedPoint(cfg PrepostedConfig, q, p int) (sim.Time, *mpi.World) {
 		},
 	}
 	w := mpi.RunPrograms(mpi.Config{
-		Ranks: 2, NIC: cfg.NIC,
+		Ranks: 2, NIC: cfg.NIC, Partitions: cfg.Partitions,
 		Faults: cfg.Faults, WatchdogLimit: cfg.Watchdog,
 		Telemetry: cfg.Telemetry, Tracer: cfg.Tracer, Phases: cfg.Phases,
 	}, progs)
@@ -257,6 +261,8 @@ type UnexpectedConfig struct {
 	MsgSize   int
 	// Jobs: parallel worlds, as in PrepostedConfig.
 	Jobs int
+	// Partitions: conservative parallel simulation, as in PrepostedConfig.
+	Partitions int
 
 	// Faults / Watchdog: as in PrepostedConfig (chaos harness).
 	Faults   *network.FaultModel
@@ -315,7 +321,7 @@ func unexpectedPoint(cfg UnexpectedConfig, u int) (sim.Time, *mpi.World) {
 		},
 	}
 	w := mpi.RunPrograms(mpi.Config{
-		Ranks: 2, NIC: cfg.NIC,
+		Ranks: 2, NIC: cfg.NIC, Partitions: cfg.Partitions,
 		Faults: cfg.Faults, WatchdogLimit: cfg.Watchdog,
 		Telemetry: cfg.Telemetry, Tracer: cfg.Tracer, Phases: cfg.Phases,
 	}, progs)

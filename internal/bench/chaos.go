@@ -53,6 +53,9 @@ type ChaosConfig struct {
 	MsgSize  int
 	// Jobs: parallel worlds, as in the figure benchmarks.
 	Jobs int
+	// Partitions: conservative parallel simulation per cell world, as in
+	// PrepostedConfig. The report is identical at any setting >= 1.
+	Partitions int
 }
 
 // ChaosResult is one (workload, mix) cell of the chaos report.
@@ -129,11 +132,13 @@ func RunChaos(cfg ChaosConfig) []ChaosResult {
 			lat, w = prepostedPoint(PrepostedConfig{
 				NIC: cfg.NIC, MsgSize: cfg.MsgSize, Iters: 40,
 				Faults: c.fm, Watchdog: chaosWatchdogLimit,
+				Partitions: cfg.Partitions,
 			}, cfg.QueueLen, cfg.QueueLen)
 		default:
 			lat, w = unexpectedPoint(UnexpectedConfig{
 				NIC: cfg.NIC, MsgSize: cfg.MsgSize,
 				Faults: c.fm, Watchdog: chaosWatchdogLimit,
+				Partitions: cfg.Partitions,
 			}, cfg.QueueLen)
 		}
 		rel, errs := worldTotals(w)

@@ -28,6 +28,8 @@ type GapConfig struct {
 	MsgSize int
 	// Jobs: parallel worlds, as in PrepostedConfig.
 	Jobs int
+	// Partitions: conservative parallel simulation, as in PrepostedConfig.
+	Partitions int
 }
 
 // RunGap measures the achieved receiver-side message rate as a function
@@ -77,7 +79,7 @@ func gapPoint(cfg GapConfig, d, burst int) sim.Time {
 			lastDone = reqs[burst-1].DoneAt()
 		},
 	}
-	observeWorld(mpi.RunPrograms(mpi.Config{Ranks: 2, NIC: cfg.NIC}, progs))
+	observeWorld(mpi.RunPrograms(mpi.Config{Ranks: 2, NIC: cfg.NIC, Partitions: cfg.Partitions}, progs))
 	return (lastDone - firstDone) / sim.Time(burst-1)
 }
 

@@ -29,6 +29,9 @@ type PhasesConfig struct {
 	Iters     int
 	// Jobs: parallel worlds, as in the figure benchmarks.
 	Jobs int
+	// Partitions: conservative parallel simulation per cell world, as in
+	// PrepostedConfig.
+	Partitions int
 	// Faults runs the cells over a faulty network (reliability forced
 	// on), so retransmit recovery shows up in the recovery column.
 	Faults *network.FaultModel
@@ -89,8 +92,9 @@ func RunPhases(cfg PhasesConfig) []PhasePoint {
 		c := cells[i]
 		pc := PrepostedConfig{
 			NIC: NICConfig(c.kind), MsgSize: cfg.MsgSize, Iters: iters,
-			Telemetry: telemetry.NewRegistry(),
-			Phases:    telemetry.NewPhases(),
+			Partitions: cfg.Partitions,
+			Telemetry:  telemetry.NewRegistry(),
+			Phases:     telemetry.NewPhases(),
 		}
 		if cfg.Faults != nil {
 			fm := *cfg.Faults

@@ -13,6 +13,8 @@ import (
 	"log/slog"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"alpusim/internal/host"
 	"alpusim/internal/match"
@@ -47,6 +49,18 @@ type Config struct {
 	// defaults).
 	WireLatency       sim.Time
 	LinkBandwidthBpns int
+
+	// Partitions > 0 runs the world as a conservative parallel simulation:
+	// ranks are split into that many contiguous partitions, each with its
+	// own engine (on the ladder event kernel) and worker goroutine,
+	// synchronized in barrier windows bounded by the wire-latency
+	// lookahead (see sim.PartitionSet). Output is canonical — byte
+	// identical for every Partitions >= 1, including under faults — but
+	// uses the partition-invariant event tie-break, so it can differ from
+	// the Partitions == 0 single-engine schedule in tie-sensitive
+	// observables (trace interleavings; never in protocol correctness).
+	// Values above Ranks are clamped; 0 keeps the classic serial engine.
+	Partitions int
 
 	// Faults installs a network fault model (nil = the reliable in-order
 	// default). Setting it forces NIC.Reliable on: MPI matching is only
@@ -88,6 +102,9 @@ type Config struct {
 
 // World is a built cluster.
 type World struct {
+	// Eng is the world's engine in single-engine mode; in partitioned
+	// mode it aliases partition 0's engine (useful for its clock, not for
+	// driving the run — use RunSim).
 	Eng   *sim.Engine
 	Net   *network.Network
 	NICs  []*nic.NIC
@@ -101,14 +118,32 @@ type World struct {
 
 	// Flight is the recorder the world's components trace into: the
 	// bounded flight ring when no full tracer was configured, or the
-	// full tracer itself. Nil when recording is off.
+	// full tracer itself. Nil when recording is off and in partitioned
+	// mode, where each partition records into its own shard — use
+	// WriteFlight/FlightStats, which merge.
 	Flight *telemetry.Tracer
+
+	// Partitioned mode (Config.Partitions > 0).
+	Engines     []*sim.Engine // per-partition engines (nil when serial)
+	ps          *sim.PartitionSet
+	partOf      []int                // rank -> partition
+	recShards   []*telemetry.Tracer  // per-partition tracer/flight shards
+	phaseShards []*telemetry.Phases  // per-partition phase shards
+	wds         []*sim.Watchdog      // per-partition watchdogs
+	wdErrs      []*sim.WatchdogError // per-partition expiry, read at barriers
+	absorbed    bool                 // shards folded into Tracer/Phases
+	pendingDump string               // flight dump requested mid-window (under mu)
 
 	log          *slog.Logger
 	flightPath   string
 	flightDumped bool
 
-	ranksLive int
+	ranksLive atomic.Int32
+
+	// mu guards the cross-partition mutable state: communicator tables,
+	// flight dumping, and the watchdog handoff. In single-engine mode it
+	// is uncontended.
+	mu sync.Mutex
 
 	// Communicator machinery: deterministic context allocation and the
 	// Split value blackboards (the simulation does not model payload
@@ -123,6 +158,9 @@ type World struct {
 func NewWorld(cfg Config) *World {
 	if cfg.Ranks < 1 {
 		panic("mpi: need at least one rank")
+	}
+	if cfg.Partitions > 0 {
+		return newPartitionedWorld(cfg)
 	}
 	eng := sim.NewEngine()
 	net := network.New(eng, cfg.Ranks, cfg.WireLatency, cfg.LinkBandwidthBpns)
@@ -201,22 +239,267 @@ func NewWorld(cfg Config) *World {
 	return w
 }
 
+// newPartitionedWorld builds the cluster for conservative parallel
+// simulation: one ladder-kernel engine per partition of the rank space,
+// synchronized by a sim.PartitionSet whose lookahead is the wire latency
+// (the minimum cross-partition delivery delay — see DESIGN.md §5.9).
+// Every mutable recorder a partition writes during a window is sharded
+// per partition (tracer, flight ring, phase stamps, slog clock) and
+// merged canonically afterwards, so the world's outputs are a pure
+// function of the simulation, not of the partition count.
+func newPartitionedWorld(cfg Config) *World {
+	nparts := cfg.Partitions
+	if nparts > cfg.Ranks {
+		nparts = cfg.Ranks
+	}
+	wire := cfg.WireLatency
+	if wire <= 0 {
+		wire = params.WireLatency
+	}
+	engines := make([]*sim.Engine, nparts)
+	for p := range engines {
+		engines[p] = sim.NewLadderEngine()
+	}
+	ps := sim.NewPartitionSet(engines, wire)
+	// Contiguous rank blocks: rank i lives on partition i*P/N, so
+	// neighbor-heavy workloads (halo exchange) keep most traffic
+	// partition-local.
+	partOf := make([]int, cfg.Ranks)
+	for i := range partOf {
+		partOf[i] = i * nparts / cfg.Ranks
+	}
+	net := network.NewPartitioned(ps, partOf, cfg.WireLatency, cfg.LinkBandwidthBpns)
+	if cfg.Faults.Active() {
+		net.SetFaults(cfg.Faults)
+		cfg.NIC.Reliable = true
+	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	// Recorder shards, one per partition, under the serial path's arming
+	// rules: full tracers when tracing was requested, flight rings when a
+	// watchdog or dump path asks for post-mortem capture. Components on
+	// partition p trace only into shard p; Tracer.Absorb merges the
+	// shards into one canonical timeline after the run.
+	recShards := make([]*telemetry.Tracer, nparts)
+	switch {
+	case cfg.Tracer != nil:
+		for p := range recShards {
+			recShards[p] = telemetry.NewTracer()
+		}
+	case cfg.FlightEvents >= 0:
+		n := cfg.FlightEvents
+		if n == 0 && (cfg.WatchdogLimit > 0 || cfg.FlightDumpPath != "") {
+			n = telemetry.DefaultFlightEvents
+		}
+		if n > 0 {
+			for p := range recShards {
+				recShards[p] = telemetry.NewFlightRecorder(n)
+			}
+		}
+	}
+	var phaseShards []*telemetry.Phases
+	if cfg.Phases != nil {
+		phaseShards = make([]*telemetry.Phases, nparts)
+		for p := range phaseShards {
+			phaseShards[p] = telemetry.NewPhases()
+		}
+	}
+	w := &World{
+		Eng:         engines[0],
+		Net:         net,
+		Tel:         reg,
+		Tracer:      cfg.Tracer,
+		Phases:      cfg.Phases,
+		Engines:     engines,
+		ps:          ps,
+		partOf:      partOf,
+		recShards:   recShards,
+		phaseShards: phaseShards,
+		log:         telemetry.SimLogger(cfg.Log, engines[0].Now),
+		flightPath:  cfg.FlightDumpPath,
+		nextCtx:     worldContext,
+		ctxTable:    make(map[string]uint16),
+		boards:      make(map[string][]any),
+	}
+	if phaseShards != nil {
+		net.SetPhasesSharded(phaseShards)
+	}
+	// No engine counter sampling: the serial sampler's track is a single
+	// pid 999 stream, and a per-partition equivalent would make the trace
+	// a function of the partition count. The ladder/partition micro
+	// benchmarks cover kernel health instead.
+	logs := make([]*slog.Logger, nparts)
+	for p := range logs {
+		logs[p] = telemetry.SimLogger(cfg.Log, engines[p].Now)
+	}
+	for i := 0; i < cfg.Ranks; i++ {
+		p := partOf[i]
+		nc := cfg.NIC
+		nc.ID = i
+		nc.Telemetry = reg
+		nc.Tracer = recShards[p]
+		if phaseShards != nil {
+			nc.Phases = phaseShards[p]
+		}
+		nc.Log = logs[p]
+		if w.flightPath != "" && recShards[0] != nil {
+			// The hook fires on a partition goroutine mid-window, where
+			// reading other partitions' shards would race; defer the dump
+			// to the next barrier, where the world is quiescent.
+			nc.ErrorHook = func(error) { w.requestDump("protocol-error") }
+		}
+		n := nic.New(engines[p], nc, net)
+		w.NICs = append(w.NICs, n)
+		w.Hosts = append(w.Hosts, host.New(engines[p], i, n))
+	}
+	if cfg.WatchdogLimit > 0 {
+		w.wds = make([]*sim.Watchdog, nparts)
+		w.wdErrs = make([]*sim.WatchdogError, nparts)
+		for p := range w.wds {
+			wd := sim.NewWatchdog(engines[p], cfg.WatchdogLimit, 0)
+			pp := p
+			// Capture the expiry and stop this partition's window instead
+			// of panicking on a worker goroutine; the coordinator turns it
+			// into the world-level failure at the next barrier, appending
+			// the model diagnostics once everything is quiescent.
+			wd.OnFail = func(err *sim.WatchdogError) {
+				w.wdErrs[pp] = err
+				engines[pp].Stop()
+			}
+			w.wds[p] = wd
+		}
+	}
+	ps.OnInject = func(p int) {
+		if w.wds != nil {
+			w.wds[p].Poke()
+		}
+	}
+	ps.OnBarrier = func() { w.onBarrier(cfg) }
+	return w
+}
+
+// requestDump records that a partition goroutine wants a flight dump; the
+// coordinator performs it at the next barrier.
+func (w *World) requestDump(reason string) {
+	w.mu.Lock()
+	if w.pendingDump == "" && !w.flightDumped {
+		w.pendingDump = reason
+	}
+	w.mu.Unlock()
+}
+
+// onBarrier runs on the coordinator between partition windows, with every
+// partition quiescent: it performs flight dumps requested mid-window and
+// converts a captured watchdog expiry into the world-level panic the
+// serial path would have raised, diagnostics appended.
+func (w *World) onBarrier(cfg Config) {
+	w.mu.Lock()
+	reason := w.pendingDump
+	w.pendingDump = ""
+	w.mu.Unlock()
+	var err *sim.WatchdogError
+	for _, e := range w.wdErrs {
+		if e != nil {
+			err = e
+			break
+		}
+	}
+	if reason != "" && err == nil {
+		w.dumpFlight(reason, false)
+	}
+	if err != nil {
+		var b strings.Builder
+		fmt.Fprintf(&b, "faults: %v injected [%s]\n", cfg.Faults, w.Net.FaultStats().String())
+		b.WriteString(w.TelemetrySnapshot().Table())
+		err.Dump += "\n" + b.String()
+		if w.log != nil {
+			w.log.Error("watchdog expired", "limit", cfg.WatchdogLimit.String())
+		}
+		w.dumpFlight("watchdog", true)
+		panic(err)
+	}
+}
+
+// RunSim drives the built world to completion: the partition coordinator
+// in partitioned mode (folding the recorder shards into Tracer/Phases
+// when it returns, panic included), the classic serial event loop
+// otherwise.
+func (w *World) RunSim() {
+	if w.ps == nil {
+		w.Eng.Run()
+		return
+	}
+	defer w.absorbShards()
+	w.ps.Run()
+}
+
+// absorbShards folds the per-partition recorder shards into the
+// world-level Tracer and Phases in canonical order. Idempotent.
+func (w *World) absorbShards() {
+	if w.absorbed || w.ps == nil {
+		return
+	}
+	w.absorbed = true
+	if w.Tracer != nil {
+		w.Tracer.Absorb(w.recShards...)
+	}
+	if w.Phases != nil {
+		w.Phases.Absorb(w.phaseShards...)
+	}
+}
+
+// flightTracer returns the recorder WriteFlight and dumpFlight render:
+// the world recorder in serial mode, the partition shards merged into
+// one canonical timeline in partitioned mode (nil when recording is
+// off). Each partition ring bounds its own history, so a partitioned
+// dump can retain up to Partitions x FlightEvents events.
+func (w *World) flightTracer() *telemetry.Tracer {
+	if w.ps == nil {
+		return w.Flight
+	}
+	if w.recShards[0] == nil {
+		return nil
+	}
+	m := telemetry.NewTracer()
+	m.Absorb(w.recShards...)
+	return m
+}
+
+// FlightStats reports the flight recorder's retained and overwritten
+// event counts, summed across partition shards in partitioned mode
+// (0, 0 when recording is off).
+func (w *World) FlightStats() (events int, dropped uint64) {
+	if w.ps == nil {
+		return w.Flight.Len(), w.Flight.Dropped()
+	}
+	for _, sh := range w.recShards {
+		events += sh.Len()
+		dropped += sh.Dropped()
+	}
+	return events, dropped
+}
+
 // WriteFlight writes the flight recorder's retained events as
 // Perfetto-loadable trace JSON. It errors when recording is off.
 func (w *World) WriteFlight(out io.Writer) error {
-	if w.Flight == nil {
+	t := w.flightTracer()
+	if t == nil {
 		return fmt.Errorf("mpi: no flight recorder configured")
 	}
-	return telemetry.WriteTrace(out, w.Flight)
+	return telemetry.WriteTrace(out, t)
 }
 
 // dumpFlight writes the flight recorder to the configured dump path.
 // Protocol errors dump once (the history leading to the *first* fault;
 // chaos runs note thousands); a watchdog expiry always dumps, replacing
 // any earlier error dump with the complete pre-stall history. Runs on
-// the simulation goroutine, so no locking is needed.
+// the simulation goroutine (the barrier coordinator in partitioned
+// mode), so no locking is needed.
 func (w *World) dumpFlight(reason string, force bool) {
-	if w.flightPath == "" || w.Flight == nil || (w.flightDumped && !force) {
+	t := w.flightTracer()
+	if w.flightPath == "" || t == nil || (w.flightDumped && !force) {
 		return
 	}
 	w.flightDumped = true
@@ -225,7 +508,7 @@ func (w *World) dumpFlight(reason string, force bool) {
 		if err != nil {
 			return err
 		}
-		if err := telemetry.WriteTrace(f, w.Flight); err != nil {
+		if err := telemetry.WriteTrace(f, t); err != nil {
 			f.Close()
 			return err
 		}
@@ -239,7 +522,7 @@ func (w *World) dumpFlight(reason string, force bool) {
 		return
 	}
 	w.log.Warn("flight recorder dumped", "reason", reason, "path", w.flightPath,
-		"events", w.Flight.Len(), "dropped", w.Flight.Dropped())
+		"events", t.Len(), "dropped", t.Dropped())
 }
 
 // TelemetrySnapshot harvests every component's counters into the world
@@ -301,11 +584,16 @@ func (req *Request) Status() Status {
 // Program is an application entry point (the rank's "main").
 type Program func(r *Rank)
 
-// SpawnRank starts prog as rank id.
+// SpawnRank starts prog as rank id (on its partition's engine when the
+// world is partitioned).
 func (w *World) SpawnRank(id int, prog Program) {
 	h := w.Hosts[id]
-	w.ranksLive++
-	w.Eng.Spawn(fmt.Sprintf("rank%d", id), func(p *sim.Process) {
+	eng := w.Eng
+	if w.ps != nil {
+		eng = w.Engines[w.partOf[id]]
+	}
+	w.ranksLive.Add(1)
+	eng.Spawn(fmt.Sprintf("rank%d", id), func(p *sim.Process) {
 		r := &Rank{
 			w:  w,
 			id: id,
@@ -314,7 +602,7 @@ func (w *World) SpawnRank(id int, prog Program) {
 			h:  h,
 		}
 		prog(r)
-		w.ranksLive--
+		w.ranksLive.Add(-1)
 	})
 }
 
@@ -325,9 +613,9 @@ func Run(cfg Config, prog Program) *World {
 	for i := 0; i < cfg.Ranks; i++ {
 		w.SpawnRank(i, prog)
 	}
-	w.Eng.Run()
-	if w.ranksLive != 0 {
-		panic(fmt.Sprintf("mpi: deadlock — %d ranks still blocked when the event queue drained", w.ranksLive))
+	w.RunSim()
+	if n := w.ranksLive.Load(); n != 0 {
+		panic(fmt.Sprintf("mpi: deadlock — %d ranks still blocked when the event queue drained", n))
 	}
 	return w
 }
@@ -341,9 +629,9 @@ func RunPrograms(cfg Config, progs []Program) *World {
 	for i, prog := range progs {
 		w.SpawnRank(i, prog)
 	}
-	w.Eng.Run()
-	if w.ranksLive != 0 {
-		panic(fmt.Sprintf("mpi: deadlock — %d ranks still blocked when the event queue drained", w.ranksLive))
+	w.RunSim()
+	if n := w.ranksLive.Load(); n != 0 {
+		panic(fmt.Sprintf("mpi: deadlock — %d ranks still blocked when the event queue drained", n))
 	}
 	return w
 }
@@ -386,7 +674,15 @@ func (r *Rank) isendAs(ctx, srcLocal uint16, dstWorld, tag, size int) *Request {
 
 // allocContext returns a stable fresh context id for a collective
 // derivation key; every rank computing the same key receives the same id.
+// In partitioned worlds the table is shared across partitions (hence the
+// lock); ids for one key are stable, but two *distinct* keys derived
+// concurrently from different partitions without intervening
+// communication could allocate in either order — collectives that derive
+// communicators synchronize first, so in practice the order is fixed by
+// the simulation itself.
 func (w *World) allocContext(key string) uint16 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if c, ok := w.ctxTable[key]; ok {
 		return c
 	}
@@ -401,6 +697,8 @@ func (w *World) allocContext(key string) uint16 {
 // splitBoard returns the shared value board for one Split invocation.
 func (w *World) splitBoard(ctx uint16, seq, n int) []any {
 	key := fmt.Sprintf("%d:%d", ctx, seq)
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if b, ok := w.boards[key]; ok {
 		return b
 	}

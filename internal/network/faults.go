@@ -126,6 +126,15 @@ func newFrand(seed int64) *frand {
 	return &frand{state: uint64(seed)*0x9E3779B97F4A7C15 + 0x1234567890ABCDEF}
 }
 
+// newFrandSrc derives the per-source-endpoint stream of a partitioned
+// network: the base state advanced by a second odd constant per source,
+// so streams for (seed, src) and (seed, src+1) are decorrelated.
+func newFrandSrc(seed int64, src int) *frand {
+	r := newFrand(seed)
+	r.state += (uint64(src) + 1) * 0xD1B54A32D192ED03
+	return r
+}
+
 func (r *frand) next() uint64 {
 	r.state += 0x9E3779B97F4A7C15
 	z := r.state
@@ -178,20 +187,44 @@ func corrupt(r *frand, p Packet) Packet {
 
 // SetFaults installs (or, with nil, removes) the fault model. Call before
 // traffic flows; changing the model mid-run would break seed determinism.
+// A partitioned network derives one independent stream per source
+// endpoint from the seed, so concurrent partitions never share a PRNG;
+// the per-source sequences are a pure function of (seed, source), not of
+// the partition layout.
 func (n *Network) SetFaults(fm *FaultModel) {
 	n.faults = fm
-	if fm != nil {
-		n.frng = newFrand(fm.Seed)
-	} else {
+	if fm == nil {
 		n.frng = nil
+		for i := range n.links {
+			n.links[i].rng = nil
+		}
+		return
+	}
+	n.frng = newFrand(fm.Seed)
+	for i := range n.links {
+		n.links[i].rng = newFrandSrc(fm.Seed, i)
 	}
 }
 
 // Faults returns the installed fault model (nil = reliable).
 func (n *Network) Faults() *FaultModel { return n.faults }
 
-// FaultStats reports the faults injected so far.
-func (n *Network) FaultStats() FaultStats { return n.fstats }
+// FaultStats reports the faults injected so far. On a partitioned network
+// the per-source counters are summed in source order.
+func (n *Network) FaultStats() FaultStats {
+	if n.links == nil {
+		return n.fstats
+	}
+	var total FaultStats
+	for i := range n.links {
+		s := n.links[i].stats
+		total.Dropped += s.Dropped
+		total.Duplicated += s.Duplicated
+		total.Reordered += s.Reordered
+		total.Corrupted += s.Corrupted
+	}
+	return total
+}
 
 // inject applies the fault model to one transmission and schedules the
 // surviving deliveries. delay is the fault-free delivery delay from now.
@@ -227,5 +260,45 @@ func (n *Network) inject(p Packet, dst *Endpoint, delay sim.Time) {
 		n.fstats.Duplicated++
 		q := p
 		n.eng.Schedule(delay+jitter+dupJitter, func() { dst.deliverNow(q) })
+	}
+}
+
+// injectPartitioned is inject for a partitioned network: the same draw
+// order against the source's own stream, counters on the source's own
+// stats, and deliveries routed through deliverAt. at is the fault-free
+// absolute delivery time; faults only ever add delay (or drop), so the
+// conservative lookahead bound survives injection.
+func (n *Network) injectPartitioned(p Packet, src, dst *Endpoint, at sim.Time) {
+	f := n.faults
+	ln := &n.links[src.ID]
+	r := ln.rng
+	drop := r.float64() < f.DropProb
+	corr := r.float64() < f.CorruptProb
+	reorder := r.float64() < f.ReorderProb
+	dup := r.float64() < f.DupProb
+	var jitter, dupJitter sim.Time
+	if reorder {
+		jitter = sim.Time(1 + r.intn(int64(f.maxJitter(n.wire))))
+	}
+	if dup {
+		dupJitter = sim.Time(1 + r.intn(int64(f.maxJitter(n.wire))))
+	}
+
+	if drop {
+		ln.stats.Dropped++
+		return
+	}
+	if corr {
+		ln.stats.Corrupted++
+		p = corrupt(r, p)
+	}
+	if reorder {
+		ln.stats.Reordered++
+	}
+	n.deliverAt(src, dst, at+jitter, p)
+	if dup {
+		ln.stats.Duplicated++
+		q := p
+		n.deliverAt(src, dst, at+jitter+dupJitter, q)
 	}
 }

@@ -188,6 +188,26 @@ type Network struct {
 	fstats FaultStats
 
 	phases *telemetry.Phases
+
+	// Partitioned mode (NewPartitioned): the world is split across
+	// per-partition engines under conservative synchronization, and all
+	// per-transmission network state must be owned by the sending
+	// endpoint, not the Network — links[src] holds the per-source packet
+	// sequence, delivery sequence, fault stream, and fault counters.
+	// Cross-partition deliveries detour through the PartitionSet outbox.
+	ps     *sim.PartitionSet
+	partOf []int     // endpoint -> partition
+	links  []srcLink // per source endpoint; nil in single-engine mode
+}
+
+// srcLink is the per-source-endpoint transmission state of a partitioned
+// network. Everything here is touched only from the source endpoint's
+// partition, so windows never contend on it.
+type srcLink struct {
+	seq   uint64 // per-source packet sequence (Packet.Seq minor bits)
+	dseq  uint64 // per-source delivery sequence (canonical tie-break)
+	rng   *frand // per-source fault stream
+	stats FaultStats
 }
 
 // New builds a network of n endpoints with the calibrated wire latency and
@@ -211,12 +231,55 @@ func New(eng *sim.Engine, n int, wire sim.Time, bwBpns int) *Network {
 	return net
 }
 
+// NewPartitioned builds a network whose endpoints live on the per-partition
+// engines of ps: endpoint i runs on ps.Engines()[partOf[i]]. The wire
+// latency doubles as the conservative lookahead — every delivery lands at
+// least wire after the event that sent it — so ps must have been built
+// with lookahead <= wire. Zero wire/bandwidth select the Table III
+// defaults, as in New.
+func NewPartitioned(ps *sim.PartitionSet, partOf []int, wire sim.Time, bwBpns int) *Network {
+	if wire == 0 {
+		wire = params.WireLatency
+	}
+	if bwBpns == 0 {
+		bwBpns = params.LinkBandwidthBpns
+	}
+	if ps.Lookahead() > wire {
+		panic(fmt.Sprintf("network: partition lookahead %v exceeds wire latency %v", ps.Lookahead(), wire))
+	}
+	engines := ps.Engines()
+	net := &Network{
+		wire: wire, bwBpns: bwBpns,
+		ps: ps, partOf: partOf, links: make([]srcLink, len(partOf)),
+	}
+	for i, p := range partOf {
+		eng := engines[p]
+		net.endpoints = append(net.endpoints, &Endpoint{
+			ID:      i,
+			RxQ:     sim.NewFIFO[Packet](eng, fmt.Sprintf("net%d.rx", i), 0),
+			Arrived: sim.NewSignal(eng),
+			eng:     eng,
+		})
+	}
+	return net
+}
+
 // SetPhases installs a latency-phase recorder; the network stamps wire
 // transmit and arrival boundaries for envelope-carrying packets.
 func (n *Network) SetPhases(p *telemetry.Phases) {
 	n.phases = p
 	for _, ep := range n.endpoints {
 		ep.phases = p
+	}
+}
+
+// SetPhasesSharded installs one latency-phase recorder per partition on a
+// partitioned network: endpoint i stamps shards[partOf[i]]. Send-side
+// stamps (WireTx) go to the sender's shard, receive-side stamps to the
+// receiver's; Phases.Absorb reassembles them after the run.
+func (n *Network) SetPhasesSharded(shards []*telemetry.Phases) {
+	for i, ep := range n.endpoints {
+		ep.phases = shards[n.partOf[i]]
 	}
 }
 
@@ -234,6 +297,10 @@ func (n *Network) Wire() sim.Time { return n.wire }
 // source link serialises transmissions; the packet arrives at Dst after
 // the transmit time plus the wire latency.
 func (n *Network) Send(pkt Packet) {
+	if n.links != nil {
+		n.sendPartitioned(pkt)
+		return
+	}
 	src := n.endpoints[pkt.Src]
 	dst := n.endpoints[pkt.Dst]
 	n.seq++
@@ -266,6 +333,61 @@ func (n *Network) Send(pkt Packet) {
 	n.eng.Schedule(deliver, func() { dst.deliverNow(p) })
 }
 
+// sendPartitioned is Send on a partitioned network. It runs on the source
+// endpoint's partition and uses only per-source state, so concurrent
+// windows never contend; Packet.Seq stays globally unique (it is a trace
+// correlation key) by carrying the source id in its top bits. The
+// delivery is scheduled directly when the destination shares the
+// partition and deferred to the barrier outbox otherwise — both paths
+// order by the same canonical (time, source, sequence) key.
+func (n *Network) sendPartitioned(pkt Packet) {
+	src := n.endpoints[pkt.Src]
+	dst := n.endpoints[pkt.Dst]
+	ln := &n.links[pkt.Src]
+	ln.seq++
+	pkt.Seq = uint64(pkt.Src+1)<<40 | ln.seq
+
+	now := src.eng.Now()
+	if src.phases != nil {
+		if key, ok := phaseKey(pkt); ok {
+			src.phases.Stamp(key, telemetry.StampWireTx, now)
+		}
+	}
+	start := now
+	if src.txBusyUntil > start {
+		start = src.txBusyUntil
+	}
+	txTime := sim.Time((HeaderBytes+max(pkt.Size, 0))/n.bwBpns) * sim.Nanosecond
+	src.txBusyUntil = start + txTime
+	src.txBytes += uint64(HeaderBytes + max(pkt.Size, 0))
+	src.txPackets++
+
+	// Absolute delivery time: at least wire (= the lookahead) after now,
+	// which is what licenses the conservative horizon.
+	at := src.txBusyUntil + n.wire
+	if n.faults.Active() {
+		n.injectPartitioned(pkt, src, dst, at)
+		return
+	}
+	n.deliverAt(src, dst, at, pkt)
+}
+
+// deliverAt schedules one delivery on a partitioned network, directly on
+// the shared engine or via the barrier outbox.
+func (n *Network) deliverAt(src, dst *Endpoint, at sim.Time, p Packet) {
+	ln := &n.links[src.ID]
+	ln.dseq++
+	sp, dp := n.partOf[src.ID], n.partOf[dst.ID]
+	if sp == dp {
+		src.eng.AtDelivery(at, uint32(src.ID), ln.dseq, func() { dst.deliverNow(p) })
+		return
+	}
+	n.ps.Defer(sp, sim.Delivery{
+		At: at, Src: uint32(src.ID), Seq: ln.dseq, Part: dp,
+		Fn: func() { dst.deliverNow(p) },
+	})
+}
+
 // TxPackets reports packets transmitted by endpoint i.
 func (n *Network) TxPackets(i int) uint64 { return n.endpoints[i].txPackets }
 
@@ -279,10 +401,11 @@ func (n *Network) Publish(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
-	reg.Counter("net/faults/dropped").Set(n.fstats.Dropped)
-	reg.Counter("net/faults/duplicated").Set(n.fstats.Duplicated)
-	reg.Counter("net/faults/reordered").Set(n.fstats.Reordered)
-	reg.Counter("net/faults/corrupted").Set(n.fstats.Corrupted)
+	fs := n.FaultStats()
+	reg.Counter("net/faults/dropped").Set(fs.Dropped)
+	reg.Counter("net/faults/duplicated").Set(fs.Duplicated)
+	reg.Counter("net/faults/reordered").Set(fs.Reordered)
+	reg.Counter("net/faults/corrupted").Set(fs.Corrupted)
 	for i, ep := range n.endpoints {
 		reg.Counter(fmt.Sprintf("net/ep%d/tx_packets", i)).Set(ep.txPackets)
 		reg.Counter(fmt.Sprintf("net/ep%d/tx_bytes", i)).Set(ep.txBytes)

@@ -3,28 +3,52 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 )
 
 // EventID identifies a cancellable scheduled event (see ScheduleCancellable).
 type EventID uint64
 
+// maxTime is the largest representable timestamp; the partition runner uses
+// it as the "no event pending" sentinel.
+const maxTime = Time(math.MaxInt64)
+
+// Event ordering is a composite key (at, k1, k2). Ordinary events carry
+// k1 = 0 and k2 = schedule sequence, which reproduces the classic
+// "same-instant events fire in schedule order" rule exactly. Cross-rank
+// delivery events (AtDelivery) carry k1 = deliveryClass | source endpoint
+// and k2 = the per-source delivery sequence, so that at any instant:
+//
+//   - all ordinary local events fire before any network delivery, and
+//   - concurrent deliveries fire in (source, per-source sequence) order,
+//
+// neither of which depends on how the world is partitioned. This canonical
+// tie-break is what keeps partitioned runs byte-identical at any -par N.
+const deliveryClass = uint64(1) << 32
+
 type event struct {
 	at  Time
-	seq uint64 // schedule order; breaks ties deterministically
+	k1  uint64 // 0 for ordinary events; deliveryClass|src for deliveries
+	k2  uint64 // schedule seq (ordinary) or per-source delivery seq
 	fn  func()
 	id  EventID // non-zero only for cancellable events
 	idx int     // index in heap, -1 when popped or cancelled
 }
 
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.k1 != b.k1 {
+		return a.k1 < b.k1
+	}
+	return a.k2 < b.k2
+}
+
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return eventLess(h[i], h[j]) }
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].idx = i
@@ -45,18 +69,32 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// arenaBlock is how many event objects one arena allocation holds. Blocks
+// feed the free list in bulk, so event allocation never goes through the
+// allocator one object at a time even on cold queues.
+const arenaBlock = 256
+
 // Engine is the discrete event simulation kernel. It is not safe for
 // concurrent use; co-simulated processes (see Process) hand control back and
 // forth so that exactly one goroutine touches the Engine at a time. Distinct
 // Engines are fully independent, so whole worlds may run on parallel
-// goroutines (see internal/sweep).
+// goroutines (see internal/sweep) and a single world may be split across
+// per-partition engines (see PartitionSet).
+//
+// Two event-queue kernels are available behind the same API: the
+// container/heap queue (NewEngine — the reference oracle) and the ladder
+// queue (NewLadderEngine — O(1) amortized, for event-dense large worlds).
+// Both order events by the same composite key, so they are interchangeable
+// bit for bit; TestLadderMatchesHeap pins that equivalence.
 type Engine struct {
 	now     Time
 	events  eventHeap
+	ladder  *ladderQueue // non-nil selects the ladder kernel
 	seq     uint64
 	nextID  EventID
 	byID    map[EventID]*event // lazily allocated; cancellable events only
 	free    []*event           // recycled event objects (hot-path fast path)
+	arena   []event            // current arena block feeding the free path
 	stopped bool
 
 	// procFailure holds a panic captured from a co-simulated process
@@ -75,9 +113,19 @@ type Engine struct {
 	procs []*Process
 }
 
-// NewEngine returns an empty simulation at time zero.
+// NewEngine returns an empty simulation at time zero, using the
+// container/heap event queue (the reference kernel).
 func NewEngine() *Engine {
 	return &Engine{}
+}
+
+// NewLadderEngine returns an empty simulation at time zero, using the
+// ladder event queue. Event ordering is identical to NewEngine; only the
+// asymptotics differ (amortized O(1) enqueue/dequeue vs O(log n)).
+func NewLadderEngine() *Engine {
+	e := &Engine{}
+	e.ladder = &ladderQueue{recycle: e.recycle}
+	return e
 }
 
 // Now returns the current simulated time.
@@ -86,23 +134,36 @@ func (e *Engine) Now() Time { return e.now }
 // Executed reports how many events have fired so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// push takes an event object off the free list (or allocates one), stamps
-// it, and inserts it into the heap.
+// alloc takes an event object off the free list, refilling it from the
+// arena when empty.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	if len(e.arena) == 0 {
+		e.arena = make([]event, arenaBlock)
+	}
+	ev := &e.arena[0]
+	e.arena = e.arena[1:]
+	return ev
+}
+
+// push stamps a fresh ordinary event and inserts it into the queue.
 func (e *Engine) push(t Time, fn func()) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", t, e.now))
 	}
-	var ev *event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-	} else {
-		ev = &event{}
-	}
+	ev := e.alloc()
 	e.seq++
-	ev.at, ev.seq, ev.fn, ev.id = t, e.seq, fn, 0
-	heap.Push(&e.events, ev)
+	ev.at, ev.k1, ev.k2, ev.fn, ev.id = t, 0, e.seq, fn, 0
+	if e.ladder != nil {
+		e.ladder.push(ev)
+	} else {
+		heap.Push(&e.events, ev)
+	}
 	return ev
 }
 
@@ -129,6 +190,24 @@ func (e *Engine) At(t Time, fn func()) {
 	e.push(t, fn)
 }
 
+// AtDelivery schedules a cross-rank packet delivery at absolute time t.
+// Deliveries order canonically by (t, src, dseq) after every ordinary event
+// at the same instant, regardless of when or from which partition they were
+// scheduled — see the deliveryClass comment. src is the sending endpoint,
+// dseq its per-source delivery sequence (strictly increasing at the sender).
+func (e *Engine) AtDelivery(t Time, src uint32, dseq uint64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: delivery into the past: %v < %v", t, e.now))
+	}
+	ev := e.alloc()
+	ev.at, ev.k1, ev.k2, ev.fn, ev.id = t, deliveryClass|uint64(src), dseq, fn, 0
+	if e.ladder != nil {
+		e.ladder.push(ev)
+	} else {
+		heap.Push(&e.events, ev)
+	}
+}
+
 // ScheduleCancellable is Schedule for events that may later be revoked with
 // Cancel. It registers the event in the id table, which the plain
 // Schedule/At fast path skips entirely.
@@ -153,12 +232,20 @@ func (e *Engine) AtCancellable(t Time, fn func()) EventID {
 
 // Cancel removes a pending cancellable event. Cancelling an event that
 // already fired or was already cancelled is a no-op and reports false.
+// The heap kernel removes the event physically; the ladder kernel marks it
+// dead in place and reclaims it lazily when its timestamp is reached.
 func (e *Engine) Cancel(id EventID) bool {
 	ev, ok := e.byID[id]
 	if !ok {
 		return false
 	}
 	delete(e.byID, id)
+	if e.ladder != nil {
+		ev.fn = nil
+		ev.id = 0
+		e.ladder.live--
+		return true
+	}
 	if ev.idx >= 0 {
 		heap.Remove(&e.events, ev.idx)
 	}
@@ -166,8 +253,39 @@ func (e *Engine) Cancel(id EventID) bool {
 	return true
 }
 
-// Pending reports the number of scheduled events.
-func (e *Engine) Pending() int { return e.events.Len() }
+// Pending reports the number of scheduled (live) events.
+func (e *Engine) Pending() int {
+	if e.ladder != nil {
+		return e.ladder.live
+	}
+	return len(e.events)
+}
+
+// PeekTime reports the timestamp of the earliest pending event, or ok=false
+// when the queue is empty. It does not advance the clock.
+func (e *Engine) PeekTime() (Time, bool) {
+	if e.ladder != nil {
+		return e.ladder.peek()
+	}
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// ParkedProcs reports how many co-simulated processes are suspended
+// waiting for a wake event. The partition runner uses it to tell an inert
+// partition (drained, every rank exited) from a merely quiet one whose
+// parked ranks an injected delivery could still wake into sending.
+func (e *Engine) ParkedProcs() int {
+	n := 0
+	for _, p := range e.procs {
+		if p.parked && !p.done {
+			n++
+		}
+	}
+	return n
+}
 
 // SchedulePoll is Schedule for self-re-arming housekeeping events that
 // observe the world rather than model it. Pollers must re-arm only while
@@ -184,20 +302,28 @@ func (e *Engine) SchedulePoll(d Time, fn func()) {
 // Alive reports the pending events that represent modelled work —
 // Pending minus outstanding pollers. When it reaches zero nothing can
 // ever happen again in the world, no matter how long pollers poll.
-func (e *Engine) Alive() int { return e.events.Len() - e.pollers }
+func (e *Engine) Alive() int { return e.Pending() - e.pollers }
 
 // Step executes the single earliest event. It reports false when no events
 // remain.
 func (e *Engine) Step() bool {
-	if e.events.Len() == 0 {
-		return false
+	var ev *event
+	if e.ladder != nil {
+		ev = e.ladder.pop()
+		if ev == nil {
+			return false
+		}
+	} else {
+		if len(e.events) == 0 {
+			return false
+		}
+		ev = heap.Pop(&e.events).(*event)
 	}
-	ev := heap.Pop(&e.events).(*event)
 	if ev.id != 0 {
 		delete(e.byID, ev.id)
 	}
 	if ev.at < e.now {
-		panic("sim: event heap corrupted")
+		panic("sim: event queue corrupted")
 	}
 	e.now = ev.at
 	e.executed++
@@ -220,7 +346,11 @@ func (e *Engine) Run() {
 // (if the simulation had not already advanced past it).
 func (e *Engine) RunUntil(t Time) {
 	e.stopped = false
-	for !e.stopped && e.events.Len() > 0 && e.events[0].at <= t {
+	for !e.stopped {
+		at, ok := e.PeekTime()
+		if !ok || at > t {
+			break
+		}
 		e.Step()
 	}
 	if e.now < t {
@@ -228,5 +358,21 @@ func (e *Engine) RunUntil(t Time) {
 	}
 }
 
-// Stop makes Run/RunUntil return after the current event completes.
+// RunBefore executes events with timestamps strictly below t and returns.
+// Unlike RunUntil it does not advance the clock to t — the partition runner
+// calls it repeatedly with growing conservative horizons, and the clock must
+// stay at the last executed event so late-injected deliveries (which are
+// guaranteed to land at or after it) remain schedulable.
+func (e *Engine) RunBefore(t Time) {
+	e.stopped = false
+	for !e.stopped {
+		at, ok := e.PeekTime()
+		if !ok || at >= t {
+			return
+		}
+		e.Step()
+	}
+}
+
+// Stop makes Run/RunUntil/RunBefore return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }

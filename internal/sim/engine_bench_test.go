@@ -46,3 +46,12 @@ func BenchmarkEngineCancellable(b *testing.B) {
 		e.Cancel(id)
 	}
 }
+
+// BenchmarkQueueMicro runs the event-queue kernel micro set (heap vs
+// ladder, plus the partition-window overhead) — the same cases the
+// alpusim bench harness folds into BENCH.json.
+func BenchmarkQueueMicro(b *testing.B) {
+	for _, c := range QueueMicroCases() {
+		b.Run(c.Name, c.Bench)
+	}
+}

@@ -39,6 +39,7 @@ type Watchdog struct {
 	OnDump func()
 
 	fired bool
+	armed bool // a check poller is pending
 }
 
 // NewWatchdog arms a watchdog that expires when simulated time reaches
@@ -55,7 +56,7 @@ func NewWatchdog(eng *Engine, limit, interval Time) *Watchdog {
 	if interval <= 0 {
 		interval = limit
 	}
-	w := &Watchdog{eng: eng, limit: limit, interval: interval}
+	w := &Watchdog{eng: eng, limit: limit, interval: interval, armed: true}
 	eng.SchedulePoll(interval, w.check)
 	return w
 }
@@ -63,7 +64,20 @@ func NewWatchdog(eng *Engine, limit, interval Time) *Watchdog {
 // Fired reports whether the watchdog has expired.
 func (w *Watchdog) Fired() bool { return w.fired }
 
+// Poke re-arms the check poller if it has stopped. A watchdog disarms
+// itself when its engine runs out of modelled work; the partition
+// coordinator pokes it when a barrier injects fresh deliveries into that
+// engine, so a partition that drains and is later woken stays guarded.
+func (w *Watchdog) Poke() {
+	if w.fired || w.armed {
+		return
+	}
+	w.armed = true
+	w.eng.SchedulePoll(w.interval, w.check)
+}
+
 func (w *Watchdog) check() {
+	w.armed = false
 	if w.fired {
 		return
 	}
@@ -88,6 +102,7 @@ func (w *Watchdog) check() {
 	// the event loop running by itself (or trade keep-alives with another
 	// poller, like the telemetry engine sampler).
 	if w.eng.Alive() > 0 {
+		w.armed = true
 		w.eng.SchedulePoll(w.interval, w.check)
 	}
 }
@@ -97,7 +112,7 @@ func (w *Watchdog) check() {
 func (e *Engine) StateDump() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "engine: now=%v executed=%d pending=%d procs=%d",
-		e.now, e.executed, e.events.Len(), len(e.procs))
+		e.now, e.executed, e.Pending(), len(e.procs))
 	for _, p := range e.procs {
 		state := "running"
 		switch {

@@ -112,6 +112,34 @@ func (p *Phases) Stamp(key uint64, s Stamp, at sim.Time) {
 	r.t[s] = at
 }
 
+// Absorb folds the stamps recorded in shards into p, in shard order. A
+// partitioned world gives each partition its own recorder (stamping a
+// shared map from parallel partitions would race); the stamps for one
+// message may split across shards — WireTx on the sender's partition, the
+// receive pipeline on the receiver's — and first-wins semantics are
+// preserved because any one (message, stamp) pair is only ever recorded
+// by one side. Key insertion order after a merge depends on shard order,
+// but nothing renders key order: Totals is a commutative fold and
+// Breakdown a lookup.
+func (p *Phases) Absorb(shards ...*Phases) {
+	if p == nil {
+		return
+	}
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		for _, key := range s.keys {
+			r := s.recs[key]
+			for st := Stamp(0); st < numStamps; st++ {
+				if r.seen&(1<<uint(st)) != 0 {
+					p.Stamp(key, st, r.t[st])
+				}
+			}
+		}
+	}
+}
+
 // Breakdown is one message's per-phase durations. Durs telescopes:
 // sum(Durs) == Total == HostDone - start, where start is Inject when
 // stamped and WireTx otherwise (pre-posted receives have no workload

@@ -23,6 +23,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"alpusim/internal/stats"
 	"alpusim/internal/trace"
@@ -110,7 +111,15 @@ func (h *Histogram) Hist() trace.Histogram {
 // Registry is a set of named metrics. Names are hierarchical
 // slash-separated paths ("nic0/rel/retransmits"); handles are created on
 // first touch and cached by the instrumented component.
+//
+// Handle creation and Snapshot are guarded by a mutex, because a
+// partitioned world (mpi.Config.Partitions) shares one registry across
+// its partition goroutines and some components create handles at runtime
+// (e.g. per-error-kind counters). The handles themselves stay unlocked:
+// each one is written by a single component, and the partition barrier
+// orders those writes against any cross-partition read.
 type Registry struct {
+	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -131,6 +140,8 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	c := r.counters[name]
 	if c == nil {
 		c = &Counter{}
@@ -144,6 +155,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	g := r.gauges[name]
 	if g == nil {
 		g = &Gauge{}
@@ -157,6 +170,8 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	h := r.hists[name]
 	if h == nil {
 		h = &Histogram{}
@@ -172,6 +187,8 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s.Counters = make(map[string]uint64, len(r.counters))
 	for name, c := range r.counters {
 		s.Counters[name] = c.v

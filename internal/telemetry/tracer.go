@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 
 	"alpusim/internal/sim"
@@ -147,6 +148,46 @@ func (t *Tracer) Count(pid, tid int, name string, at sim.Time, v int64) {
 	}
 	t.add(tevent{ph: 'C', name: name,
 		pid: pid, tid: tid, ts: at, val: v})
+}
+
+// Absorb folds the events of shards into t in canonical timeline order:
+// a stable sort by (timestamp, pid, tid). A partitioned world records
+// each partition into its own shard; because every (pid, tid) track is
+// written by exactly one partition, the stable sort preserves per-track
+// record order while interleaving tracks identically however the world
+// was partitioned — the merged byte stream is a pure function of the
+// simulation, not of -par N. Track names concatenate in shard order,
+// which is partition order (itself rank order, fixed at construction).
+// Absorbing into a flight ring keeps only the most recent events, as a
+// single ring of the same size would.
+func (t *Tracer) Absorb(shards ...*Tracer) {
+	if t == nil {
+		return
+	}
+	var all []tevent
+	for _, sh := range shards {
+		if sh == nil {
+			continue
+		}
+		t.names = append(t.names, sh.names...)
+		t.dropped += sh.dropped
+		for i := 0; i < len(sh.events); i++ {
+			all = append(all, sh.eventAt(i))
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		if a.pid != b.pid {
+			return a.pid < b.pid
+		}
+		return a.tid < b.tid
+	})
+	for _, e := range all {
+		t.add(e)
+	}
 }
 
 // Len returns the number of recorded events (0 for nil).

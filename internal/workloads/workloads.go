@@ -52,6 +52,17 @@ func WithPhases(p *telemetry.Phases) Option {
 	return func(cfg *mpi.Config) { cfg.Phases = p }
 }
 
+// WithPartitions runs the workload's world as a conservative parallel
+// simulation over n per-partition engines (see mpi.Config.Partitions);
+// n <= 0 keeps the serial engine.
+func WithPartitions(n int) Option {
+	return func(cfg *mpi.Config) {
+		if n > 0 {
+			cfg.Partitions = n
+		}
+	}
+}
+
 // Report summarises one workload run.
 type Report struct {
 	Name    string
@@ -123,13 +134,19 @@ func run(name string, nicCfg nic.Config, ranks int, prog mpi.Program, opts []Opt
 	for _, o := range opts {
 		o(&cfg)
 	}
-	var last sim.Time
+	// Per-rank finish times, folded after the run: rank goroutines on
+	// different partitions finish concurrently, so a shared max would race.
+	finished := make([]sim.Time, ranks)
 	w := mpi.Run(cfg, func(r *mpi.Rank) {
 		prog(r)
-		if r.Now() > last {
-			last = r.Now()
-		}
+		finished[r.Rank()] = r.Now()
 	})
+	var last sim.Time
+	for _, t := range finished {
+		if t > last {
+			last = t
+		}
+	}
 	return gather(name, w, last)
 }
 

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Runs the bench-gate benchmark set — the engine event loop, the ALPU
-# device micro-benchmarks, and the quick Fig. 5 sweep cuts — and appends
+# Runs the bench-gate benchmark set — the engine event loop, the
+# event-queue and partition-runner micro-benchmarks, the ALPU device
+# micro-benchmarks, and the quick Fig. 5 sweep cuts — and appends
 # the raw `go test -bench` output to the given file (default
 # BENCH_CURRENT.txt). CI compares that output against the committed
 # BENCH_BASELINE.txt with cmd/benchgate; regenerate the baseline by
@@ -13,5 +14,9 @@ set -e
 out="${1:-BENCH_CURRENT.txt}"
 : > "$out"
 go test -run '^$' -bench 'BenchmarkEngineScheduleStep$' -benchtime 1s -count 3 ./internal/sim | tee -a "$out"
+# Time-based benchtime: the queue and partition-window ops are tens to
+# hundreds of ns, so a fixed small iteration count would be all timer
+# noise.
+go test -run '^$' -bench 'BenchmarkQueueMicro/' -benchtime 0.2s -count 3 ./internal/sim | tee -a "$out"
 go test -run '^$' -bench 'BenchmarkMicro/' -benchtime 2000x -count 3 ./internal/alpu | tee -a "$out"
 go test -run '^$' -bench 'BenchmarkFig5' -benchtime 3x -count 3 . | tee -a "$out"
