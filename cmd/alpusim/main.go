@@ -15,6 +15,10 @@
 //	               deliver/host phases that sum to the end-to-end latency
 //	chaos          the figure workloads over a faulty network: injected
 //	               faults vs the NIC reliability protocol's recovery stats
+//	devchaos       the device-chaos campaign: an N-rank soak over NICs
+//	               whose ALPUs flip bits, drop results, stall or die and
+//	               whose firmware crashes, every scenario digest-verified
+//	               against a clean software-only run of the same plan
 //	bench          wall-clock harness: times every figure sweep at -jobs 1
 //	               and -jobs N and appends a timestamped record with the
 //	               speedups and micro-benchmarks to BENCH.json
@@ -23,7 +27,8 @@
 //	               -par partitions, with wall-clock speedup
 //	stall          forces a watchdog stall (endless ping-pong world) and
 //	               writes the flight-recorder post-mortem (-flightdump)
-//	all            everything above except chaos, bench, scale and stall
+//	all            everything above except chaos, devchaos, bench, scale
+//	               and stall
 //
 // Flags: -quick shrinks the sweeps (~10x faster), -format csv emits
 // machine-readable series instead of tables, -jobs N fans the independent
@@ -37,11 +42,13 @@
 // tables, traces and metrics — so the determinism CI diffs -par 1 against
 // -par 8. -par 0 (default) keeps the classic serial engine.
 //
-// Fault injection: -faults installs a network fault model for experiments
-// that support one (chaos, phases): either one probability for all
-// classes ("0.02") or per-class pairs ("drop=0.01,reorder=0.05"). -seed
-// seeds the injection stream; the same seed reproduces the identical run
-// byte for byte.
+// Fault injection: -faults installs a fault model for experiments that
+// support one (chaos, devchaos, phases): either one probability for all
+// wire classes ("0.02") or per-class pairs ("drop=0.01,reorder=0.05").
+// Device-level classes ride the same grammar: "alpubitflip=0.01",
+// "alpuresultdrop=0.02", "alpustuck=0.1", "alpudeath@50us",
+// "fwcrash=0.005", "linkflap=0.05". -seed seeds the injection streams;
+// the same seed reproduces the identical run byte for byte.
 //
 // Telemetry: for the phases experiment, -trace FILE writes a Chrome
 // trace-event JSON (load at ui.perfetto.dev) and -metrics FILE writes the
@@ -186,6 +193,8 @@ func main() {
 		phasesExp()
 	case "chaos":
 		chaosExp()
+	case "devchaos":
+		devchaosExp()
 	case "bench":
 		benchHarness()
 	case "scale":
@@ -813,6 +822,31 @@ func chaosExp() {
 		bench.RenderChaos(os.Stdout, results)
 		fmt.Println()
 	}
+}
+
+// devchaosExp runs the device-chaos campaign: an N-rank soak over ALPU
+// NICs whose devices flip bits, drop results, stall, die, or whose
+// firmware crashes, with every scenario's matching digest verified
+// against a clean software-only run of the same plan. With -faults the
+// given mix is the whole matrix. Output is a pure function of the flags
+// (same -seed => identical bytes at any -par).
+func devchaosExp() {
+	obsLabel("devchaos")
+	var scenarios []bench.DevChaosScenario
+	if *faultSpec != "" {
+		fm, err := network.ParseFaults(*faultSpec, *faultSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alpusim: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		scenarios = []bench.DevChaosScenario{{Name: "custom", Faults: *fm}}
+	}
+	fmt.Printf("Device chaos: soak under injected device faults vs clean software reference — seed %d\n", *faultSeed)
+	bench.RenderDevChaos(os.Stdout, bench.RunDevChaos(bench.DevChaosConfig{
+		NIC: bench.NICConfig(bench.ALPU128), Seed: *faultSeed,
+		Scenarios: scenarios, Jobs: *jobs, Partitions: *par,
+	}))
+	fmt.Println()
 }
 
 func anchors() {

@@ -129,6 +129,10 @@ const (
 	// RespMatchFailure reports that a probe matched nothing. Never emitted
 	// between a START ACKNOWLEDGE and a STOP INSERT (§IV-A).
 	RespMatchFailure
+	// RespFault reports that the scrubber quarantined a parity-bad cell.
+	// Tag carries the tag of the lost entry so the firmware can repair the
+	// device state from its host-side shadow copy of the list.
+	RespFault
 )
 
 func (k RespKind) String() string {
@@ -139,6 +143,8 @@ func (k RespKind) String() string {
 		return "MATCH SUCCESS"
 	case RespMatchFailure:
 		return "MATCH FAILURE"
+	case RespFault:
+		return "FAULT"
 	default:
 		return fmt.Sprintf("RespKind(%d)", int(k))
 	}

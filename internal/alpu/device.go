@@ -40,6 +40,12 @@ type Config struct {
 	// equivalence oracle in internal/bench.
 	PerCycle bool
 
+	// Faults, when Active, enables seeded device-level fault injection
+	// (see FaultModel). Fault injection forces PerCycle: stuck cycles
+	// perturb the per-cycle stepping schedule, which the cycle-batching
+	// equivalence lemmas assume is fault-free.
+	Faults *FaultModel
+
 	// Tracer, when set, records search/insert spans and delete instants
 	// on the (TracePID, TraceTID) track.
 	Tracer   *telemetry.Tracer
@@ -67,6 +73,16 @@ type cell struct {
 	bits  match.Bits
 	mask  match.Bits
 	tag   uint32
+	// par is the parity bit stamped over (bits, mask, tag) at insert time.
+	// A transient bit-flip leaves it stale, which is how the scrubber
+	// detects corruption. Living inside the cell, it rides every
+	// compaction move and delete shift for free.
+	par bool
+}
+
+// cellParity computes the stored parity bit for a cell's payload.
+func cellParity(b, m match.Bits, tag uint32) bool {
+	return bits.OnesCount64(uint64(b)^uint64(m)^uint64(tag))&1 == 1
 }
 
 // Stats counts Device activity for the benchmark reports.
@@ -83,6 +99,13 @@ type Stats struct {
 	MaxOccupancy int
 	ShiftCycles  uint64 // cycles in which compaction moved data
 	ResultStalls uint64 // cycles stalled on a full result FIFO
+
+	// Fault-injection activity (zero unless Config.Faults is Active).
+	BitFlips       uint64 // transient cell corruptions injected
+	ParityFaults   uint64 // corrupted cells the scrubber quarantined
+	DroppedResults uint64 // result-FIFO entries silently lost
+	StuckCycles    uint64 // dead compaction cycles from stuck steps
+	DeadDiscards   uint64 // FIFO entries swallowed after device death
 }
 
 // Device is the cycle-level ALPU model. It runs as its own co-simulated
@@ -136,6 +159,10 @@ type Device struct {
 
 	insertMode bool
 	stats      Stats
+
+	// frng is the device's private fault stream; nil when fault injection
+	// is off, which keeps every fault check a single nil test.
+	frng *devRand
 }
 
 // NewDevice creates and starts a Device on eng.
@@ -152,6 +179,12 @@ func NewDevice(eng *sim.Engine, name string, cfg Config) (*Device, error) {
 	if cfg.InsertCycles == 0 {
 		cfg.InsertCycles = params.ALPUInsertCycles
 	}
+	if cfg.Faults.Active() {
+		// Stuck cycles perturb the stepping schedule the cycle-batching
+		// equivalence lemmas assume, so fault injection runs the per-cycle
+		// reference model.
+		cfg.PerCycle = true
+	}
 	d := &Device{
 		cfg:      cfg,
 		eng:      eng,
@@ -163,6 +196,9 @@ func NewDevice(eng *sim.Engine, name string, cfg Config) (*Device, error) {
 		cells:    make([]cell, cfg.Geometry.Cells),
 	}
 	d.initBits()
+	if cfg.Faults.Active() {
+		d.frng = newDevRand(cfg.Faults.Seed, 1)
+	}
 	eng.Spawn(name, d.run)
 	return d, nil
 }
@@ -260,6 +296,27 @@ func (d *Device) Publish(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix + "/result_stalls").Set(s.ResultStalls)
 	reg.Gauge(prefix + "/max_occupancy").SetMax(int64(s.MaxOccupancy))
 	reg.Gauge(prefix + "/occupancy").Set(int64(d.Occupancy()))
+	if d.cfg.Faults.Active() {
+		reg.Counter(prefix + "/faults/bit_flips").Set(s.BitFlips)
+		reg.Counter(prefix + "/faults/parity_quarantines").Set(s.ParityFaults)
+		reg.Counter(prefix + "/faults/dropped_results").Set(s.DroppedResults)
+		reg.Counter(prefix + "/faults/stuck_cycles").Set(s.StuckCycles)
+		reg.Counter(prefix + "/faults/dead_discards").Set(s.DeadDiscards)
+		dead := int64(0)
+		if d.Dead() {
+			dead = 1
+		}
+		reg.Gauge(prefix + "/faults/dead").Set(dead)
+	}
+}
+
+// Dead reports whether the device has passed its configured death instant
+// and gone dark on the bus. Exposed for tests and telemetry; the firmware
+// never peeks — it detects death through response timeouts, as a real host
+// would.
+func (d *Device) Dead() bool {
+	f := d.cfg.Faults
+	return f != nil && f.DeathAt > 0 && d.eng.Now() >= f.DeathAt
 }
 
 // PushProbe delivers a header/receive copy into the header FIFO (the
@@ -321,6 +378,10 @@ func (d *Device) run(p *sim.Process) {
 	}
 	for {
 		d.idle(p, ready)
+		if d.Dead() {
+			d.playDead(p)
+		}
+		d.faultHook(p)
 
 		// Read Command state: only RESET and START INSERT are valid here;
 		// everything else is discarded (§III-C footnote 3).
@@ -340,6 +401,89 @@ func (d *Device) run(p *sim.Process) {
 		if probe, ok := d.Headers.Pop(); ok {
 			d.doMatch(p, probe, false)
 		}
+	}
+}
+
+// playDead never returns: a hard-failed unit stops responding on the bus.
+// Anything already queued — and anything pushed later — is swallowed so the
+// producer-side FIFOs keep draining (a wedged command FIFO would park the
+// firmware's pushCommand forever); no response is ever emitted again. The
+// process parks between kicks, so a dead device never keeps the engine
+// alive and the world still drains to quiescence.
+func (d *Device) playDead(p *sim.Process) {
+	for {
+		for {
+			if _, ok := d.Commands.Pop(); !ok {
+				break
+			}
+			d.stats.DeadDiscards++
+		}
+		for {
+			if _, ok := d.Headers.Pop(); !ok {
+				break
+			}
+			d.stats.DeadDiscards++
+		}
+		p.WaitCond(d.kick, func() bool {
+			return d.Commands.Len() > 0 || d.Headers.Len() > 0
+		})
+	}
+}
+
+// faultHook is the per-opportunity fault point: possibly corrupt one cell,
+// then scrub. Scrubbing immediately after injection models parity checking
+// on the match/readout path — a corrupted cell is quarantined before any
+// probe can (mis)match against it, which is what lets the firmware repair
+// from its shadow copy with zero wrong matches.
+func (d *Device) faultHook(p *sim.Process) {
+	if d.frng == nil {
+		return
+	}
+	d.maybeFlip()
+	d.scrub(p)
+}
+
+// maybeFlip draws the bit-flip chance and, on a hit, flips one random bit
+// of one random valid cell's match bits, leaving its parity bit stale.
+func (d *Device) maybeFlip() {
+	if !d.frng.chance(d.cfg.Faults.BitFlipProb) {
+		return
+	}
+	occ := d.Occupancy()
+	if occ == 0 {
+		return
+	}
+	k := d.frng.intn(occ)
+	for i := range d.cells {
+		if !d.cells[i].valid {
+			continue
+		}
+		if k == 0 {
+			d.cells[i].bits ^= 1 << uint(d.frng.intn(64))
+			d.stats.BitFlips++
+			return
+		}
+		k--
+	}
+}
+
+// scrub scans for parity-bad cells and quarantines each: the cell is
+// invalidated (leaving a hole for compaction) and a FAULT response carrying
+// the lost entry's tag tells the firmware which entry to repair from its
+// host-side shadow copy.
+func (d *Device) scrub(p *sim.Process) {
+	for i := range d.cells {
+		c := &d.cells[i]
+		if !c.valid || cellParity(c.bits, c.mask, c.tag) == c.par {
+			continue
+		}
+		tag := c.tag
+		*c = cell{}
+		if d.valid != nil {
+			d.valid[i/64] &^= 1 << uint(i%64)
+		}
+		d.stats.ParityFaults++
+		d.pushResult(p, Response{Kind: RespFault, Tag: tag})
 	}
 }
 
@@ -489,6 +633,14 @@ func (d *Device) insertLoop(p *sim.Process) {
 		return d.Commands.Len() > 0 || (d.held == nil && d.Headers.Len() > 0)
 	}
 	for {
+		if d.Dead() {
+			// A unit that dies mid-insert-episode just stops; the firmware's
+			// response timeouts notice. Fall back to the outer loop, which
+			// parks the corpse.
+			d.insertMode = false
+			d.held = nil
+			return
+		}
 		if c, ok := d.Commands.Pop(); ok {
 			switch c.Op {
 			case OpInsert:
@@ -543,7 +695,8 @@ func (d *Device) doInsert(p *sim.Process, c Command) {
 		}
 		d.tick(p, d.cyclesUntilCellZeroFree())
 	}
-	d.cells[0] = cell{valid: true, bits: c.Bits, mask: c.Mask, tag: c.Tag}
+	d.cells[0] = cell{valid: true, bits: c.Bits, mask: c.Mask, tag: c.Tag,
+		par: cellParity(c.Bits, c.Mask, c.Tag)}
 	if d.valid != nil {
 		d.valid[0] |= 1
 	}
@@ -558,6 +711,7 @@ func (d *Device) doInsert(p *sim.Process, c Command) {
 // held for retry instead of producing MATCH FAILURE (§IV-A: failure never
 // appears between START ACKNOWLEDGE and STOP INSERT).
 func (d *Device) doMatch(p *sim.Process, probe Probe, inInsertMode bool) {
+	d.faultHook(p)
 	// Resolve the match and delete against the pipeline-entry state; the
 	// tick below models the pipeline occupancy. Compaction during the tick
 	// may move cells, so the result must be captured first.
@@ -660,6 +814,15 @@ func (d *Device) tick(p *sim.Process, n int) {
 	per := d.cfg.Clock.Period
 	if d.cfg.PerCycle {
 		for i := 0; i < n; i++ {
+			if d.frng != nil && d.frng.chance(d.cfg.Faults.StuckProb) {
+				// Stuck compaction: the step machinery wedges for a short
+				// run of cycles in which time passes but nothing moves.
+				k := 1 + d.frng.intn(8)
+				d.stats.StuckCycles += uint64(k)
+				for j := 0; j < k; j++ {
+					p.Sleep(per)
+				}
+			}
 			if d.shiftStep() {
 				d.stats.ShiftCycles++
 			}
@@ -977,18 +1140,24 @@ func (d *Device) needsCompaction() bool {
 // While stalled the device is not idle-spinning: compaction steps keep
 // running (one per cycle, as the hardware's register enables would), and
 // only once the array is fully compacted does the device park on the
-// FIFO's not-full edge. ResultStalls counts every stalled device cycle on
-// both paths, so the backpressure is visible in the stats either way.
+// FIFO's not-full edge. ResultStalls is charged at a single site from
+// elapsed stall time, so the per-cycle and cycle-batched paths count
+// identically by construction (tick(p, 1) advances exactly one clock
+// period in both modes; the fast-vs-reference oracle in
+// TestPushResultStallOracle pins this).
 func (d *Device) pushResult(p *sim.Process, r Response) {
 	for d.Results.Full() {
-		if d.needsCompaction() {
-			d.stats.ResultStalls++
-			d.tick(p, 1)
-			continue
-		}
 		start := p.Now()
-		p.WaitCond(d.Results.NotFull, func() bool { return !d.Results.Full() })
+		if d.needsCompaction() {
+			d.tick(p, 1)
+		} else {
+			p.WaitCond(d.Results.NotFull, func() bool { return !d.Results.Full() })
+		}
 		d.stats.ResultStalls += uint64((p.Now() - start) / d.cfg.Clock.Period)
+	}
+	if d.frng != nil && d.frng.chance(d.cfg.Faults.ResultDropProb) {
+		d.stats.DroppedResults++
+		return
 	}
 	if !d.Results.Push(r) {
 		panic(fmt.Sprintf("%s: result FIFO rejected push while not full", d.name))

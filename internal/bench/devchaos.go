@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"alpusim/internal/mpi"
+	"alpusim/internal/network"
+	"alpusim/internal/nic"
+	"alpusim/internal/sim"
+	"alpusim/internal/stats"
+	"alpusim/internal/sweep"
+)
+
+// The device-chaos campaign: a random many-to-many soak over N-rank ALPU
+// worlds whose devices corrupt cells, drop results, stall, die outright,
+// or whose firmware crashes — each scenario digest-verified against a
+// clean software-only run of the identical traffic plan. A scenario
+// passes only if the matching outcome (which sender and tag every posted
+// receive resolved to, and its size) is byte-identical to the clean
+// reference: device faults may cost time, never correctness.
+
+// DevChaosScenario is one named cell of the campaign matrix.
+type DevChaosScenario struct {
+	Name   string
+	Faults network.FaultModel // Seed is overridden per run
+}
+
+// DefaultDevChaosScenarios is the campaign matrix: each device-fault
+// class alone, a wire-fault rider, then the meltdown mix.
+func DefaultDevChaosScenarios() []DevChaosScenario {
+	return []DevChaosScenario{
+		{"bitflip-storm", network.FaultModel{ALPUBitFlipProb: 0.02}},
+		{"result-drops", network.FaultModel{ALPUResultDropProb: 0.05}},
+		{"stuck-cycles", network.FaultModel{ALPUStuckProb: 0.1}},
+		{"alpu-death", network.FaultModel{ALPUDeathAt: 30 * sim.Microsecond}},
+		{"fw-crash-loop", network.FaultModel{FwCrashProb: 0.02}},
+		{"link-flap", network.FaultModel{LinkFlapFrac: 0.05}},
+		{"meltdown", network.FaultModel{
+			DropProb: 0.01, DupProb: 0.01, LinkFlapFrac: 0.02,
+			ALPUBitFlipProb: 0.01, ALPUResultDropProb: 0.02,
+			ALPUDeathAt: 50 * sim.Microsecond, FwCrashProb: 0.005,
+		}},
+	}
+}
+
+// DevChaosConfig parameterises the campaign.
+type DevChaosConfig struct {
+	NIC  nic.Config // the ALPU NIC under test (UseALPU is forced on)
+	Seed int64
+	// Ranks / Msgs shape the soak plan (0 = 4 ranks / 64 messages).
+	Ranks int
+	Msgs  int
+	// Scenarios is the fault matrix (nil = DefaultDevChaosScenarios).
+	Scenarios []DevChaosScenario
+	// Jobs: parallel worlds, as in the figure benchmarks.
+	Jobs int
+	// Partitions: conservative parallel simulation per cell world. The
+	// report is byte-identical at any setting >= 1.
+	Partitions int
+}
+
+// DevChaosResult is one scenario row of the campaign report.
+type DevChaosResult struct {
+	Scenario string
+	Digest   uint64
+	Match    bool // digest equals the clean software-only reference
+	Latency  sim.Time
+
+	// Device-side injection counters (alpu_faults rollup).
+	BitFlips, Quarantines, DroppedResults, StuckCycles, DeadDiscards uint64
+	// Firmware-side recovery counters (nic_failover rollup).
+	Strikes, Resyncs, Deaths, ShadowRebuilds, FwCrashes, FwRestarts uint64
+}
+
+// devChaosPlan is the deterministic many-to-many traffic plan: unique
+// tags keep the matching unambiguous, so every configuration must produce
+// the same pairing; a third of the receives are wildcards.
+type devChaosOp struct {
+	src, dst, tag, size int
+	wildcard            bool
+}
+
+func devChaosPlan(seed int64, ranks, msgs int) []devChaosOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]devChaosOp, msgs)
+	for i := range ops {
+		src := rng.Intn(ranks)
+		dst := rng.Intn(ranks)
+		for dst == src {
+			dst = rng.Intn(ranks)
+		}
+		ops[i] = devChaosOp{
+			src: src, dst: dst, tag: i,
+			size:     []int{0, 64, 1024, 8192}[rng.Intn(4)],
+			wildcard: rng.Intn(3) == 0,
+		}
+	}
+	return ops
+}
+
+// runDevChaosWorld drives the plan through one world and folds every
+// receive's matching outcome into an FNV-1a digest, rank by rank in plan
+// order — deliberately independent of completion timing, which faults
+// are allowed to change.
+func runDevChaosWorld(cfg mpi.Config, plan []devChaosOp) (uint64, sim.Time, *mpi.World) {
+	ranks := cfg.Ranks
+	statuses := make([][]mpi.Status, ranks)
+	ends := make([]sim.Time, ranks)
+	progs := make([]mpi.Program, ranks)
+	for rank := 0; rank < ranks; rank++ {
+		rank := rank
+		progs[rank] = func(r *mpi.Rank) {
+			var reqs []*mpi.Request
+			for _, op := range plan {
+				if op.dst != rank {
+					continue
+				}
+				src := op.src
+				if op.wildcard {
+					src = mpi.AnySource
+				}
+				reqs = append(reqs, r.Irecv(src, op.tag, op.size))
+			}
+			r.Barrier()
+			for _, op := range plan {
+				if op.src != rank {
+					continue
+				}
+				r.Wait(r.Isend(op.dst, op.tag, op.size))
+			}
+			for _, req := range reqs {
+				r.Wait(req)
+				statuses[rank] = append(statuses[rank], req.Status())
+			}
+			r.Barrier()
+			ends[rank] = r.Now()
+		}
+	}
+	w := mpi.RunPrograms(cfg, progs)
+	var end sim.Time
+	for _, e := range ends {
+		if e > end {
+			end = e
+		}
+	}
+	h := uint64(0xcbf29ce484222325)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 0x100000001b3
+		}
+	}
+	for rank, sts := range statuses {
+		for i, st := range sts {
+			mix(uint64(rank))
+			mix(uint64(i))
+			mix(uint64(int64(st.Source)))
+			mix(uint64(int64(st.Tag)))
+			mix(uint64(int64(st.Size)))
+		}
+	}
+	return h, end, w
+}
+
+// RunDevChaos runs the clean software-only reference, then every scenario
+// over the identical plan, verifying each digest against the reference.
+// Cells run on cfg.Jobs parallel worlds but the result order (and every
+// byte of the report) is deterministic regardless.
+func RunDevChaos(cfg DevChaosConfig) []DevChaosResult {
+	if cfg.Ranks <= 0 {
+		cfg.Ranks = 4
+	}
+	if cfg.Msgs <= 0 {
+		cfg.Msgs = 64
+	}
+	scenarios := cfg.Scenarios
+	if scenarios == nil {
+		scenarios = DefaultDevChaosScenarios()
+	}
+	plan := devChaosPlan(cfg.Seed, cfg.Ranks, cfg.Msgs)
+	clean, _, _ := runDevChaosWorld(mpi.Config{
+		Ranks: cfg.Ranks, Partitions: cfg.Partitions,
+		WatchdogLimit: chaosWatchdogLimit,
+	}, plan)
+	results := sweep.Map(normJobs(cfg.Jobs), len(scenarios), func(i int) DevChaosResult {
+		s := scenarios[i]
+		fm := s.Faults
+		fm.Seed = cfg.Seed
+		nc := cfg.NIC
+		nc.UseALPU = true
+		if nc.Cells <= 0 {
+			nc.Cells = 64
+		}
+		// Tight recovery policy: these soaks drain in a few hundred
+		// simulated microseconds, so the default 10µs-doubling timeouts
+		// would let a dying device coast to the end of the run without
+		// ever striking out.
+		if nc.FaultResultTimeout == 0 {
+			nc.FaultResultTimeout = 1 * sim.Microsecond
+		}
+		if nc.FaultRetryBase == 0 {
+			nc.FaultRetryBase = 4 * sim.Microsecond
+		}
+		digest, lat, w := runDevChaosWorld(mpi.Config{
+			Ranks: cfg.Ranks, NIC: nc, Partitions: cfg.Partitions,
+			Faults: &fm, WatchdogLimit: chaosWatchdogLimit,
+		}, plan)
+		snap := w.TelemetrySnapshot()
+		return DevChaosResult{
+			Scenario: s.Name, Digest: digest, Match: digest == clean, Latency: lat,
+			BitFlips:       snap.Sum("alpu_faults/bit_flips"),
+			Quarantines:    snap.Sum("alpu_faults/parity_quarantines"),
+			DroppedResults: snap.Sum("alpu_faults/dropped_results"),
+			StuckCycles:    snap.Sum("alpu_faults/stuck_cycles"),
+			DeadDiscards:   snap.Sum("alpu_faults/dead_discards"),
+			Strikes:        snap.Sum("nic_failover/strikes"),
+			Resyncs:        snap.Sum("nic_failover/resyncs"),
+			Deaths:         snap.Sum("nic_failover/deaths"),
+			ShadowRebuilds: snap.Sum("nic_failover/shadow_rebuilds"),
+			FwCrashes:      snap.Sum("nic_failover/fw_crashes"),
+			FwRestarts:     snap.Sum("nic_failover/fw_restarts"),
+		}
+	})
+	return results
+}
+
+// RenderDevChaos writes the campaign report as an aligned table. Output
+// is a pure function of the config and seed, so two runs with the same
+// seed diff empty at any partition count — the CI determinism check.
+func RenderDevChaos(out io.Writer, results []DevChaosResult) {
+	tb := stats.NewTable("scenario", "verdict", "digest", "latency",
+		"flips/quar", "drops", "stuck", "dead-disc",
+		"strikes", "resyncs", "deaths/rebuilds", "fwcrash/restart")
+	for _, r := range results {
+		verdict := "MATCH"
+		if !r.Match {
+			verdict = "DIVERGED"
+		}
+		tb.AddRow(
+			r.Scenario, verdict, fmt.Sprintf("%016x", r.Digest), r.Latency.String(),
+			fmt.Sprintf("%d/%d", r.BitFlips, r.Quarantines),
+			r.DroppedResults, r.StuckCycles, r.DeadDiscards,
+			r.Strikes, r.Resyncs,
+			fmt.Sprintf("%d/%d", r.Deaths, r.ShadowRebuilds),
+			fmt.Sprintf("%d/%d", r.FwCrashes, r.FwRestarts),
+		)
+	}
+	tb.Render(out)
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"alpusim/internal/alpu"
 	"alpusim/internal/host"
 	"alpusim/internal/match"
 	"alpusim/internal/network"
@@ -151,6 +152,34 @@ type World struct {
 	nextCtx  uint16
 	ctxTable map[string]uint16
 	boards   map[string][]any
+
+	// devFaults records that device-level fault classes were configured,
+	// gating the world-level alpu_faults/nic_failover telemetry rollups.
+	devFaults bool
+}
+
+// applyDeviceFaults maps the device-level classes of the world fault
+// model onto one NIC's config. Per-device fault streams are derived
+// inside the alpu/nic layers from the seed, the NIC id and the unit id,
+// so one world seed yields independent, partition-count-invariant fault
+// schedules on every device.
+func applyDeviceFaults(nc *nic.Config, f *network.FaultModel) {
+	if !f.DeviceActive() {
+		return
+	}
+	if f.ALPUBitFlipProb > 0 || f.ALPUResultDropProb > 0 || f.ALPUStuckProb > 0 || f.ALPUDeathAt > 0 {
+		nc.ALPUFaults = &alpu.FaultModel{
+			Seed:           uint64(f.Seed),
+			BitFlipProb:    f.ALPUBitFlipProb,
+			ResultDropProb: f.ALPUResultDropProb,
+			StuckProb:      f.ALPUStuckProb,
+			DeathAt:        f.ALPUDeathAt,
+		}
+	}
+	if f.FwCrashProb > 0 {
+		nc.FwCrashProb = f.FwCrashProb
+		nc.FwCrashSeed = uint64(f.Seed)*0x9E3779B97F4A7C15 + uint64(nc.ID) + 1
+	}
 }
 
 // NewWorld constructs the cluster: network, NICs (with optional ALPUs),
@@ -164,7 +193,9 @@ func NewWorld(cfg Config) *World {
 	}
 	eng := sim.NewEngine()
 	net := network.New(eng, cfg.Ranks, cfg.WireLatency, cfg.LinkBandwidthBpns)
-	if cfg.Faults.Active() {
+	if cfg.Faults.WireActive() {
+		// Wire classes go to the network; the reliability protocol restores
+		// the in-order, loss-free delivery the matching queues assume.
 		net.SetFaults(cfg.Faults)
 		cfg.NIC.Reliable = true
 	}
@@ -196,6 +227,7 @@ func NewWorld(cfg Config) *World {
 		Flight:     rec,
 		log:        telemetry.SimLogger(cfg.Log, eng.Now),
 		flightPath: cfg.FlightDumpPath,
+		devFaults:  cfg.Faults.DeviceActive(),
 		nextCtx:    worldContext,
 		ctxTable:   make(map[string]uint16),
 		boards:     make(map[string][]any),
@@ -210,6 +242,7 @@ func NewWorld(cfg Config) *World {
 	for i := 0; i < cfg.Ranks; i++ {
 		nc := cfg.NIC
 		nc.ID = i
+		applyDeviceFaults(&nc, cfg.Faults)
 		nc.Telemetry = reg
 		nc.Tracer = rec
 		nc.Phases = cfg.Phases
@@ -269,7 +302,7 @@ func newPartitionedWorld(cfg Config) *World {
 		partOf[i] = i * nparts / cfg.Ranks
 	}
 	net := network.NewPartitioned(ps, partOf, cfg.WireLatency, cfg.LinkBandwidthBpns)
-	if cfg.Faults.Active() {
+	if cfg.Faults.WireActive() {
 		net.SetFaults(cfg.Faults)
 		cfg.NIC.Reliable = true
 	}
@@ -319,6 +352,7 @@ func newPartitionedWorld(cfg Config) *World {
 		phaseShards: phaseShards,
 		log:         telemetry.SimLogger(cfg.Log, engines[0].Now),
 		flightPath:  cfg.FlightDumpPath,
+		devFaults:   cfg.Faults.DeviceActive(),
 		nextCtx:     worldContext,
 		ctxTable:    make(map[string]uint16),
 		boards:      make(map[string][]any),
@@ -338,6 +372,7 @@ func newPartitionedWorld(cfg Config) *World {
 		p := partOf[i]
 		nc := cfg.NIC
 		nc.ID = i
+		applyDeviceFaults(&nc, cfg.Faults)
 		nc.Telemetry = reg
 		nc.Tracer = recShards[p]
 		if phaseShards != nil {
@@ -533,6 +568,37 @@ func (w *World) TelemetrySnapshot() telemetry.Snapshot {
 		n.PublishTelemetry()
 	}
 	w.Net.Publish(w.Tel)
+	if w.devFaults {
+		// World-level rollups of the device-fault and failover counters:
+		// these become the alpusim_alpu_faults_* / alpusim_nic_failover_*
+		// Prometheus families on the /metrics endpoint.
+		failSum := func(name string) (t uint64) {
+			for i := range w.NICs {
+				t += w.Tel.Counter(fmt.Sprintf("nic%d/failover/%s", i, name)).Get()
+			}
+			return
+		}
+		for _, name := range []string{
+			"strikes", "resyncs", "deaths", "shadow_rebuilds",
+			"fw_crashes", "fw_restarts", "fault_responses",
+		} {
+			w.Tel.Counter("nic_failover/" + name).Set(failSum(name))
+		}
+		devSum := func(name string) (t uint64) {
+			for i := range w.NICs {
+				for _, q := range []string{"posted", "unexp"} {
+					t += w.Tel.Counter(fmt.Sprintf("nic%d/alpu/%s/faults/%s", i, q, name)).Get()
+				}
+			}
+			return
+		}
+		for _, name := range []string{
+			"bit_flips", "parity_quarantines", "dropped_results",
+			"stuck_cycles", "dead_discards",
+		} {
+			w.Tel.Counter("alpu_faults/" + name).Set(devSum(name))
+		}
+	}
 	return w.Tel.Snapshot()
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"alpusim/internal/params"
 	"alpusim/internal/sim"
@@ -35,11 +36,42 @@ type FaultModel struct {
 
 	// MaxJitter bounds the reorder delay; 0 selects 4x the wire latency.
 	MaxJitter sim.Time
+
+	// LinkFlapFrac is the fraction of time each link spends down: time is
+	// cut into fixed windows and each (seed, source, window) is down with
+	// this probability — a pure function, so flaps are identical at any
+	// partition count. Packets sent into a down window are dropped; the
+	// go-back-N reliability layer recovers them.
+	LinkFlapFrac float64
+
+	// Device-fault classes. The Network does not interpret these; the
+	// world builder (internal/mpi) plumbs them into per-device
+	// alpu.FaultModel instances and the NIC firmware, deriving per-unit
+	// seeds from Seed.
+	ALPUBitFlipProb    float64  // transient ALPU cell bit-flips
+	ALPUResultDropProb float64  // ALPU result-FIFO entries silently lost
+	ALPUStuckProb      float64  // stuck ALPU compaction cycles
+	ALPUDeathAt        sim.Time // hard ALPU failure at this instant (0 = never)
+	FwCrashProb        float64  // NIC firmware crash per handled work item
+}
+
+// WireActive reports whether any wire-level class is enabled — the classes
+// that require the reliability protocol and the Network's inject path.
+func (f *FaultModel) WireActive() bool {
+	return f != nil && (f.DropProb > 0 || f.DupProb > 0 || f.ReorderProb > 0 ||
+		f.CorruptProb > 0 || f.LinkFlapFrac > 0)
+}
+
+// DeviceActive reports whether any device-level class (ALPU faults,
+// firmware crashes) is enabled.
+func (f *FaultModel) DeviceActive() bool {
+	return f != nil && (f.ALPUBitFlipProb > 0 || f.ALPUResultDropProb > 0 ||
+		f.ALPUStuckProb > 0 || f.ALPUDeathAt > 0 || f.FwCrashProb > 0)
 }
 
 // Active reports whether the model can inject any fault at all.
 func (f *FaultModel) Active() bool {
-	return f != nil && (f.DropProb > 0 || f.DupProb > 0 || f.ReorderProb > 0 || f.CorruptProb > 0)
+	return f.WireActive() || f.DeviceActive()
 }
 
 // String renders the model compactly for experiment banners.
@@ -47,41 +79,122 @@ func (f *FaultModel) String() string {
 	if f == nil {
 		return "none"
 	}
-	return fmt.Sprintf("drop=%g dup=%g reorder=%g corrupt=%g seed=%d",
-		f.DropProb, f.DupProb, f.ReorderProb, f.CorruptProb, f.Seed)
+	s := fmt.Sprintf("drop=%g dup=%g reorder=%g corrupt=%g",
+		f.DropProb, f.DupProb, f.ReorderProb, f.CorruptProb)
+	if f.LinkFlapFrac > 0 {
+		s += fmt.Sprintf(" linkflap=%g", f.LinkFlapFrac)
+	}
+	if f.ALPUBitFlipProb > 0 {
+		s += fmt.Sprintf(" alpubitflip=%g", f.ALPUBitFlipProb)
+	}
+	if f.ALPUResultDropProb > 0 {
+		s += fmt.Sprintf(" alpuresultdrop=%g", f.ALPUResultDropProb)
+	}
+	if f.ALPUStuckProb > 0 {
+		s += fmt.Sprintf(" alpustuck=%g", f.ALPUStuckProb)
+	}
+	if f.ALPUDeathAt > 0 {
+		s += fmt.Sprintf(" alpudeath@%v", f.ALPUDeathAt)
+	}
+	if f.FwCrashProb > 0 {
+		s += fmt.Sprintf(" fwcrash=%g", f.FwCrashProb)
+	}
+	return s + fmt.Sprintf(" seed=%d", f.Seed)
 }
 
+// flapWindow is the granularity of link up/down flaps: each window is
+// independently up or down per (seed, source). It comfortably exceeds the
+// reliability layer's initial RTO, so a down window forces real
+// retransmission backoff rather than sub-RTO blips.
+const flapWindow = 5 * sim.Microsecond
+
+// linkDown reports whether src's link is down at instant t — a pure
+// function of (Seed, src, t), evaluated without touching any PRNG stream.
+func (f *FaultModel) linkDown(src int, t sim.Time) bool {
+	if f.LinkFlapFrac <= 0 {
+		return false
+	}
+	w := uint64(t / flapWindow)
+	// One splitmix64 scramble of (seed, src, window).
+	z := uint64(f.Seed)*0x9E3779B97F4A7C15 + (uint64(src)+1)*0xD1B54A32D192ED03 + w*0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11)/(1<<53) < f.LinkFlapFrac
+}
+
+// ParseError is an actionable -faults parse failure: it names the bad
+// element, its 1-based position in the comma-separated spec, and what
+// would have been accepted there.
+type ParseError struct {
+	Spec  string // the full spec as given
+	Pos   int    // 1-based element position within the spec
+	Token string // the offending element
+	Msg   string // what is wrong and what was expected
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("faults: element %d %q: %s (spec %q)", e.Pos, e.Token, e.Msg, e.Spec)
+}
+
+// faultClasses names every class=value key ParseFaults accepts, for error
+// messages.
+const faultClasses = "drop, dup, reorder, corrupt, linkflap, alpubitflip, alpuresultdrop, alpustuck, fwcrash (value in [0,1]), or alpudeath@<duration>"
+
 // ParseFaults parses a -faults flag value: either a single probability
-// applied to all four fault classes ("0.02"), or a comma-separated list of
-// class=prob pairs ("drop=0.01,dup=0.01,reorder=0.02,corrupt=0.005").
-// An empty spec returns nil (no faults).
+// applied to all four wire fault classes ("0.02"), or a comma-separated
+// list of elements — class=prob pairs ("drop=0.01,corrupt=0.005"), the
+// device classes ("alpubitflip=0.001,fwcrash=0.0001"), "linkflap" (bare,
+// default 0.1 down-fraction) or "linkflap=frac", and "alpudeath@t" with a
+// Go duration ("alpudeath@500us"). An empty spec returns nil (no faults).
 func ParseFaults(spec string, seed int64) (*FaultModel, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
 		return nil, nil
 	}
 	fm := &FaultModel{Seed: seed}
-	if !strings.Contains(spec, "=") {
+	if !strings.ContainsAny(spec, "=@") && !strings.Contains(spec, "linkflap") {
 		p, err := strconv.ParseFloat(spec, 64)
 		if err != nil {
-			return nil, fmt.Errorf("faults: bad probability %q", spec)
+			return nil, &ParseError{Spec: spec, Pos: 1, Token: spec,
+				Msg: "not a probability; want a float in [0,1] or a class list: " + faultClasses}
 		}
 		if p < 0 || p > 1 {
-			return nil, fmt.Errorf("faults: probability %g out of [0,1]", p)
+			return nil, &ParseError{Spec: spec, Pos: 1, Token: spec,
+				Msg: fmt.Sprintf("probability %g out of [0,1]", p)}
 		}
 		fm.DropProb, fm.DupProb, fm.ReorderProb, fm.CorruptProb = p, p, p, p
 		return fm, nil
 	}
-	for _, part := range strings.Split(spec, ",") {
-		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
-		if len(kv) != 2 {
-			return nil, fmt.Errorf("faults: bad element %q (want class=prob)", part)
+	for i, part := range strings.Split(spec, ",") {
+		tok := strings.TrimSpace(part)
+		fail := func(msg string) error {
+			return &ParseError{Spec: spec, Pos: i + 1, Token: tok, Msg: msg}
 		}
-		p, err := strconv.ParseFloat(kv[1], 64)
+		if tok == "" {
+			return nil, fail("empty element; want " + faultClasses)
+		}
+		if tok == "linkflap" {
+			fm.LinkFlapFrac = 0.1
+			continue
+		}
+		if rest, ok := strings.CutPrefix(tok, "alpudeath@"); ok {
+			d, err := time.ParseDuration(rest)
+			if err != nil || d <= 0 {
+				return nil, fail(fmt.Sprintf("bad death time %q; want a positive Go duration like 500us", rest))
+			}
+			fm.ALPUDeathAt = sim.Time(d.Nanoseconds()) * sim.Nanosecond
+			continue
+		}
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return nil, fail("want class=value; classes: " + faultClasses)
+		}
+		p, err := strconv.ParseFloat(val, 64)
 		if err != nil || p < 0 || p > 1 {
-			return nil, fmt.Errorf("faults: bad probability %q in %q", kv[1], part)
+			return nil, fail(fmt.Sprintf("bad probability %q; want a float in [0,1]", val))
 		}
-		switch strings.ToLower(kv[0]) {
+		switch strings.ToLower(key) {
 		case "drop":
 			fm.DropProb = p
 		case "dup":
@@ -90,8 +203,18 @@ func ParseFaults(spec string, seed int64) (*FaultModel, error) {
 			fm.ReorderProb = p
 		case "corrupt":
 			fm.CorruptProb = p
+		case "linkflap":
+			fm.LinkFlapFrac = p
+		case "alpubitflip":
+			fm.ALPUBitFlipProb = p
+		case "alpuresultdrop":
+			fm.ALPUResultDropProb = p
+		case "alpustuck":
+			fm.ALPUStuckProb = p
+		case "fwcrash":
+			fm.FwCrashProb = p
 		default:
-			return nil, fmt.Errorf("faults: unknown class %q (drop, dup, reorder, corrupt)", kv[0])
+			return nil, fail(fmt.Sprintf("unknown class %q; classes: %s", key, faultClasses))
 		}
 	}
 	return fm, nil
@@ -99,20 +222,25 @@ func ParseFaults(spec string, seed int64) (*FaultModel, error) {
 
 // FaultStats counts injected faults, for the chaos experiment reports.
 type FaultStats struct {
-	Dropped    uint64
-	Duplicated uint64
-	Reordered  uint64
-	Corrupted  uint64
+	Dropped     uint64
+	Duplicated  uint64
+	Reordered   uint64
+	Corrupted   uint64
+	FlapDropped uint64 // packets sent into a down link-flap window
 }
 
 // Total sums the injected-fault counts.
 func (s FaultStats) Total() uint64 {
-	return s.Dropped + s.Duplicated + s.Reordered + s.Corrupted
+	return s.Dropped + s.Duplicated + s.Reordered + s.Corrupted + s.FlapDropped
 }
 
 func (s FaultStats) String() string {
-	return fmt.Sprintf("dropped=%d duplicated=%d reordered=%d corrupted=%d",
+	out := fmt.Sprintf("dropped=%d duplicated=%d reordered=%d corrupted=%d",
 		s.Dropped, s.Duplicated, s.Reordered, s.Corrupted)
+	if s.FlapDropped > 0 {
+		out += fmt.Sprintf(" flapdropped=%d", s.FlapDropped)
+	}
+	return out
 }
 
 // frand is a splitmix64-based PRNG: tiny, fast, and bit-identical on every
@@ -222,6 +350,7 @@ func (n *Network) FaultStats() FaultStats {
 		total.Duplicated += s.Duplicated
 		total.Reordered += s.Reordered
 		total.Corrupted += s.Corrupted
+		total.FlapDropped += s.FlapDropped
 	}
 	return total
 }
@@ -230,6 +359,14 @@ func (n *Network) FaultStats() FaultStats {
 // surviving deliveries. delay is the fault-free delivery delay from now.
 func (n *Network) inject(p Packet, dst *Endpoint, delay sim.Time) {
 	f, r := n.faults, n.frng
+	// Link flap is a pure function of (seed, source, window) — checked
+	// before any stream draw, so enabling it does not perturb the other
+	// classes' random sequences. The instant checked is the fault-free
+	// delivery time, matching the partitioned path.
+	if f.linkDown(p.Src, n.eng.Now()+delay) {
+		n.fstats.FlapDropped++
+		return
+	}
 	// Draw in a fixed order so the random stream is a pure function of the
 	// transmission sequence, whatever the probabilities.
 	drop := r.float64() < f.DropProb
@@ -271,6 +408,13 @@ func (n *Network) inject(p Packet, dst *Endpoint, delay sim.Time) {
 func (n *Network) injectPartitioned(p Packet, src, dst *Endpoint, at sim.Time) {
 	f := n.faults
 	ln := &n.links[src.ID]
+	// The flap instant is the fault-free delivery time: like everything
+	// else here it is a pure function of the transmission, independent of
+	// which partition evaluates it.
+	if f.linkDown(src.ID, at) {
+		ln.stats.FlapDropped++
+		return
+	}
 	r := ln.rng
 	drop := r.float64() < f.DropProb
 	corr := r.float64() < f.CorruptProb

@@ -147,3 +147,96 @@ func TestParseFaults(t *testing.T) {
 		}
 	}
 }
+
+// TestParseFaultsDeviceClasses covers the device-fault grammar additions.
+func TestParseFaultsDeviceClasses(t *testing.T) {
+	fm, err := ParseFaults("alpubitflip=0.001,alpuresultdrop=0.01,alpustuck=0.02,fwcrash=0.0001,alpudeath@500us,linkflap=0.2", 3)
+	if err != nil {
+		t.Fatalf("device spec: %v", err)
+	}
+	if fm.ALPUBitFlipProb != 0.001 || fm.ALPUResultDropProb != 0.01 ||
+		fm.ALPUStuckProb != 0.02 || fm.FwCrashProb != 0.0001 ||
+		fm.ALPUDeathAt != 500*sim.Microsecond || fm.LinkFlapFrac != 0.2 {
+		t.Fatalf("device spec fields: %+v", fm)
+	}
+	if fm.WireActive() != true || !fm.DeviceActive() || !fm.Active() {
+		t.Fatalf("activity split: wire=%v device=%v", fm.WireActive(), fm.DeviceActive())
+	}
+	fm, err = ParseFaults("alpudeath@2ms", 0)
+	if err != nil || fm.ALPUDeathAt != 2*sim.Millisecond || fm.WireActive() {
+		t.Fatalf("death-only spec: %+v, %v", fm, err)
+	}
+	if fm, err = ParseFaults("linkflap", 0); err != nil || fm.LinkFlapFrac != 0.1 {
+		t.Fatalf("bare linkflap: %+v, %v", fm, err)
+	}
+}
+
+// TestParseFaultsErrorsArePositional: a bad element is reported with its
+// token and 1-based position, not a bare message.
+func TestParseFaultsErrorsArePositional(t *testing.T) {
+	_, err := ParseFaults("drop=0.01,bogus=0.5,dup=0.1", 0)
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError (%v)", err, err)
+	}
+	if pe.Pos != 2 || pe.Token != "bogus=0.5" {
+		t.Errorf("ParseError = %+v, want Pos 2 token bogus=0.5", pe)
+	}
+	for _, c := range []struct {
+		spec, tok string
+		pos       int
+	}{
+		{"drop=0.01,,dup=0.1", "", 2},
+		{"alpudeath@yesterday", "alpudeath@yesterday", 1},
+		{"drop=0.01,alpustuck=7", "alpustuck=7", 2},
+		{"1.5", "1.5", 1},
+	} {
+		_, err := ParseFaults(c.spec, 0)
+		pe, ok := err.(*ParseError)
+		if !ok {
+			t.Errorf("spec %q: error type %T, want *ParseError", c.spec, err)
+			continue
+		}
+		if pe.Pos != c.pos || pe.Token != c.tok {
+			t.Errorf("spec %q: got pos %d token %q, want pos %d token %q",
+				c.spec, pe.Pos, pe.Token, c.pos, c.tok)
+		}
+	}
+}
+
+// TestLinkFlapDropsAndRecovers: a flapping link drops whole windows of
+// traffic deterministically; the same (seed, src, t) is down in every run.
+func TestLinkFlap(t *testing.T) {
+	fm := &FaultModel{Seed: 5, LinkFlapFrac: 0.3}
+	downA, downB := 0, 0
+	for w := 0; w < 1000; w++ {
+		at := sim.Time(w) * flapWindow
+		if fm.linkDown(0, at) {
+			downA++
+		}
+		if fm.linkDown(0, at) != fm.linkDown(0, at) {
+			t.Fatal("linkDown not deterministic")
+		}
+		if fm.linkDown(1, at) {
+			downB++
+		}
+	}
+	if downA < 200 || downA > 400 {
+		t.Errorf("down fraction off: %d/1000 windows at frac 0.3", downA)
+	}
+	if downA == downB {
+		t.Error("sources share a flap schedule")
+	}
+
+	eng := sim.NewEngine()
+	net := New(eng, 2, 0, 0)
+	net.SetFaults(&FaultModel{Seed: 1, LinkFlapFrac: 1})
+	sendN(net, 20)
+	eng.Run()
+	if got := net.Endpoint(1).RxQ.Len(); got != 0 {
+		t.Errorf("linkflap=1 still delivered %d packets", got)
+	}
+	if fs := net.FaultStats(); fs.FlapDropped != 20 || fs.Total() != 20 {
+		t.Errorf("flap stats %+v, want 20 flap-dropped", fs)
+	}
+}

@@ -12,13 +12,38 @@ import (
 	"alpusim/internal/telemetry"
 )
 
-// firmware is the NIC processor's main loop (§V-C): check the network for
-// incoming messages, check for new host requests, and update the ALPUs,
-// repeatedly. All costs are charged through the proc.Engine, so list
-// traversals exercise the cache/DRAM model.
+// firmware is the NIC processor's supervisor: it runs the §V-C main loop
+// and, when crash injection unwinds it, models the embedded processor
+// rebooting — a restart delay, then device state replay from the shadow
+// queues before the loop resumes. No queued work is lost across a crash
+// (injection fires before anything is popped).
 func (n *NIC) firmware(p *sim.Process) {
+	for n.fwSession(p) {
+		p.Sleep(n.fwRestartDelay())
+		n.recoverFirmware()
+	}
+}
+
+// fwSession is the NIC processor's main loop (§V-C): check the network
+// for incoming messages, check for new host requests, and update the
+// ALPUs, repeatedly. All costs are charged through the proc.Engine, so
+// list traversals exercise the cache/DRAM model. Returns true only when
+// an injected FirmwareCrash unwound the loop; any other panic propagates.
+func (n *NIC) fwSession(p *sim.Process) (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(*FirmwareCrash); !ok {
+				panic(r)
+			}
+			crashed = true
+		}
+	}()
 	e := proc.New(p, n.cpu, n.mem)
 	for {
+		n.maintainDevices(e)
+		if n.crashRng != nil && (n.ep.RxQ.Len() > 0 || n.HostQ.Len() > 0) {
+			n.maybeCrash()
+		}
 		if pkt, ok := n.ep.RxQ.Pop(); ok {
 			n.handlePacket(e, pkt)
 			continue
@@ -231,9 +256,17 @@ func (n *NIC) matchPosted(e *proc.Engine, pkt network.Packet) *match.Entry {
 			n.posted.dev.PushProbe(alpu.Probe{Bits: probe, Meta: pkt.Seq})
 			n.posted.probed[pkt.Seq] = true
 		}
-		r, from := n.resultFor(e, &n.posted, pkt.Seq)
+		r, from, ok := n.resultFor(e, &n.posted, pkt.Seq)
+		if !ok {
+			// The device never answered: strike, repair (resync or failover),
+			// and resolve this match entirely in software.
+			n.deviceFault(e, &n.posted, "result-timeout",
+				fmt.Sprintf("no response for packet seq %d", pkt.Seq))
+			return n.softwareMatch(e, &n.posted, probe, match.FullMask)
+		}
 		if r.Kind == alpu.RespMatchSuccess {
 			n.stats.ALPUPostedHits++
+			n.noteDeviceSuccess(&n.posted)
 			return n.consumeALPUMatch(e, &n.posted, r.Tag, probe, match.FullMask)
 		}
 		n.stats.ALPUPostedMisses++
@@ -258,9 +291,15 @@ func (n *NIC) matchUnexpected(e *proc.Engine, req HostRequest) *match.Entry {
 			n.unexp.dev.PushProbe(alpu.Probe{Bits: b, Mask: m, Meta: req.ID})
 			n.unexp.probed[req.ID] = true
 		}
-		r, from := n.resultFor(e, &n.unexp, req.ID)
+		r, from, ok := n.resultFor(e, &n.unexp, req.ID)
+		if !ok {
+			n.deviceFault(e, &n.unexp, "result-timeout",
+				fmt.Sprintf("no response for request %d", req.ID))
+			return n.softwareMatch(e, &n.unexp, b, m)
+		}
 		if r.Kind == alpu.RespMatchSuccess {
 			n.stats.ALPUUnexpHits++
+			n.noteDeviceSuccess(&n.unexp)
 			return n.consumeALPUMatch(e, &n.unexp, r.Tag, b, m)
 		}
 		n.stats.ALPUUnexpMisses++
@@ -306,8 +345,26 @@ func (n *NIC) consumeALPUMatch(e *proc.Engine, q *mirrorQueue, tag uint32, bits,
 	e.Prefetch(entry.Addr+uint64(params.QueueEntryBytes), params.QueueEntryFullBytes-params.QueueEntryBytes, false)
 	idx := q.list.IndexOf(entry)
 	if idx < 0 || idx >= q.inALPU {
-		panic(fmt.Sprintf("nic%d: %s ALPU matched entry outside the ALPU prefix (idx %d, inALPU %d)",
-			n.cfg.ID, q.name, idx, q.inALPU))
+		if !n.devFaultsOn() {
+			panic(fmt.Sprintf("nic%d: %s ALPU matched entry outside the ALPU prefix (idx %d, inALPU %d)",
+				n.cfg.ID, q.name, idx, q.inALPU))
+		}
+		// A fault knocked the mirror askew (e.g. a stale success resolved
+		// after a resync): the shadow list is the truth, so resolve there
+		// and schedule a resync to realign the device.
+		n.noteDeviceFault(q, "prefix-mismatch",
+			fmt.Sprintf("tag %d resolved to idx %d, inALPU %d", tag, idx, q.inALPU))
+		if idx < 0 {
+			idx = n.searchList(e, q, bits, mask, 0)
+			if idx < 0 {
+				return nil
+			}
+			entry = q.list.At(idx)
+		}
+		q.depths.Add(idx)
+		e.Cycles(8)
+		q.list.RemoveAt(idx)
+		return entry
 	}
 	q.depths.Add(idx)
 	q.list.RemoveAt(idx)
@@ -380,6 +437,14 @@ func (n *NIC) fallbackSearch(e *proc.Engine, q *mirrorQueue, probe alpu.Probe, b
 	if from > q.inALPU {
 		from = q.inALPU
 	}
+	if q.needResync {
+		// A strike is pending repair: the device has lost at least one
+		// loaded entry (quarantined cell, dropped result), so a MATCH
+		// FAILURE no longer brackets the unloaded suffix. Search the whole
+		// list; a hit inside the prefix goes through the purge probe as
+		// usual, which misses the vanished copy and feeds the resync.
+		from = 0
+	}
 	idx := n.searchList(e, q, bits, mask, from)
 	if idx < 0 {
 		return nil
@@ -393,18 +458,35 @@ func (n *NIC) fallbackSearch(e *proc.Engine, q *mirrorQueue, probe alpu.Probe, b
 		e.BusTransaction(params.ALPUCommandCycles)
 		q.dev.PushProbe(probe)
 		q.probed[key] = true
-		r, _ := n.resultFor(e, q, key)
-		if r.Kind != alpu.RespMatchSuccess {
-			panic(fmt.Sprintf("nic%d: %s purge probe missed the stale entry", n.cfg.ID, q.name))
+		r, _, ok := n.resultFor(e, q, key)
+		switch {
+		case !ok:
+			n.deviceFault(e, q, "purge-timeout", "no response to purge probe")
+		case r.Kind != alpu.RespMatchSuccess:
+			if !n.devFaultsOn() {
+				panic(fmt.Sprintf("nic%d: %s purge probe missed the stale entry", n.cfg.ID, q.name))
+			}
+			// The stale copy vanished from the device (quarantined by the
+			// scrubber): the mirror is off by at least one entry — resync.
+			n.deviceFault(e, q, "purge-miss", "purge probe found no stale copy")
+		case q.tags[r.Tag] != entry:
+			if !n.devFaultsOn() {
+				panic(fmt.Sprintf("nic%d: %s purge consumed tag %d, not the stale entry", n.cfg.ID, q.name, r.Tag))
+			}
+			delete(q.tags, r.Tag)
+			n.deviceFault(e, q, "purge-mismatch", "purge probe consumed a different entry")
+		default:
+			delete(q.tags, r.Tag)
+			q.inALPU--
 		}
-		if q.tags[r.Tag] != entry {
-			panic(fmt.Sprintf("nic%d: %s purge consumed tag %d, not the stale entry", n.cfg.ID, q.name, r.Tag))
-		}
-		delete(q.tags, r.Tag)
-		q.inALPU--
 	}
 	e.Cycles(8)
 	q.list.RemoveAt(idx)
+	if q.alpuDead && q.hash != nil {
+		// A failover during the purge rebuilt the hash shadow from the list
+		// with this entry still in it; keep the shadow exact.
+		q.hash.Remove(entry)
+	}
 	return entry
 }
 
@@ -487,6 +569,10 @@ func (n *NIC) updateALPUs(e *proc.Engine) bool {
 // inserted suffix: START INSERT, drain results until the acknowledge,
 // insert as many entries as fit, STOP INSERT (§IV-C, §V-C).
 func (n *NIC) updateALPU(e *proc.Engine, q *mirrorQueue) bool {
+	if q.alpuDead || (n.devFaultsOn() && n.eng.Now() < q.retryAt) {
+		// Failed over, or backing off after a strike: no insert episodes.
+		return false
+	}
 	pend := q.list.Len() - q.inALPU
 	if pend <= 0 || q.list.Len() < n.cfg.Threshold {
 		return false
@@ -511,7 +597,13 @@ func (n *NIC) updateALPU(e *proc.Engine, q *mirrorQueue) bool {
 	// result for a header we have not processed yet (§IV-C).
 	var free int
 	for {
-		r := n.readResult(e, q)
+		r, ok := n.readResult(e, q)
+		if !ok {
+			// The acknowledge never came: strike and abort the episode. The
+			// repair's STOP INSERT unwinds whatever state the device is in.
+			n.deviceFault(e, q, "ack-timeout", "START ACKNOWLEDGE timed out")
+			return true
+		}
 		if r.Kind == alpu.RespStartAck {
 			free = r.Free
 			break
@@ -541,6 +633,7 @@ func (n *NIC) updateALPU(e *proc.Engine, q *mirrorQueue) bool {
 	e.BusTransaction(params.ALPUCommandCycles)
 	n.pushCommand(e, q, alpu.Command{Op: alpu.OpStopInsert})
 	q.inALPU += k
+	n.noteDeviceSuccess(q)
 	return k > 0
 }
 
@@ -567,11 +660,23 @@ func (n *NIC) pushCommand(e *proc.Engine, q *mirrorQueue, c alpu.Command) {
 // read to see that a result is present, then the data read — two
 // transactions on the 20 ns local bus. This interaction cost is what
 // produces the paper's ~80 ns penalty on zero-length queues (§VI-B).
-func (n *NIC) readResult(e *proc.Engine, q *mirrorQueue) alpu.Response {
+//
+// Without device faults the wait is unbounded and ok is always true —
+// the pre-existing behaviour, cycle for cycle. With device faults the
+// wait is bounded (exponential in the queue's strike count) so a dying
+// device cannot hang the firmware; FAULT responses from the device
+// scrubber are absorbed here as strikes and never surface to callers.
+func (n *NIC) readResult(e *proc.Engine, q *mirrorQueue) (alpu.Response, bool) {
+	wait := n.resultWait(q)
 	for {
 		e.BusTransaction(params.ALPUStatusPollCycles)
 		if q.dev.Results.Len() == 0 {
-			e.P.WaitCond(q.dev.Results.NotEmpty, func() bool { return q.dev.Results.Len() > 0 })
+			cond := func() bool { return q.dev.Results.Len() > 0 }
+			if wait == 0 {
+				e.P.WaitCond(q.dev.Results.NotEmpty, cond)
+			} else if !e.P.WaitCondUntil(q.dev.Results.NotEmpty, cond, wait) {
+				return alpu.Response{}, false
+			}
 			continue
 		}
 		e.BusTransaction(params.ALPUResultPollCycles)
@@ -579,7 +684,15 @@ func (n *NIC) readResult(e *proc.Engine, q *mirrorQueue) alpu.Response {
 		if !ok {
 			continue
 		}
-		return r
+		if r.Kind == alpu.RespFault {
+			// The scrubber quarantined a corrupted cell: the device lost an
+			// entry the shadow still holds. Strike; the resync at the next
+			// safe point realigns the device with the shadow.
+			n.failCounter("fault_responses")
+			n.noteDeviceFault(q, "parity", fmt.Sprintf("device quarantined tag %d", r.Tag))
+			continue
+		}
+		return r, true
 	}
 }
 
@@ -609,21 +722,37 @@ type stashedResp struct {
 // correlation key, consuming it from the drained-pending list or the
 // result FIFO, plus the fallback search index for a failure. Responses
 // for probes whose packets have not been processed yet are stashed in
-// arrival order.
-func (n *NIC) resultFor(e *proc.Engine, q *mirrorQueue, key uint64) (alpu.Response, int) {
+// arrival order. ok is false only when device faults are configured and
+// the response timed out (the caller strikes and resolves in software).
+func (n *NIC) resultFor(e *proc.Engine, q *mirrorQueue, key uint64) (alpu.Response, int, bool) {
 	delete(q.probed, key)
 	for i, st := range q.pending {
 		if meta, ok := st.r.Probe.Meta.(uint64); ok && meta == key {
 			q.pending = append(q.pending[:i], q.pending[i+1:]...)
 			e.Cycles(4)
-			return st.r, st.from
+			return st.r, st.from, true
 		}
 	}
 	for {
-		r := n.readResult(e, q)
+		r, ok := n.readResult(e, q)
+		if !ok {
+			return alpu.Response{}, 0, false
+		}
 		if meta, ok := r.Probe.Meta.(uint64); ok && meta == key {
-			return r, q.inALPU
+			return r, q.inALPU, true
 		}
 		q.pending = append(q.pending, stashedResp{r: r, from: q.inALPU})
 	}
+}
+
+// softwareMatch resolves a match entirely in software after the device
+// path failed: the hash shadow when the queue has failed over, else a
+// full list search. The immediately preceding repair left inALPU at zero
+// (resync) or the unit permanently disengaged (failover), so no stale
+// device copy can survive the removal.
+func (n *NIC) softwareMatch(e *proc.Engine, q *mirrorQueue, bits, mask match.Bits) *match.Entry {
+	if q.hash != nil {
+		return n.searchRemoveHash(e, q, bits, mask)
+	}
+	return n.searchRemoveList(e, q, bits, mask, 0)
 }

@@ -84,6 +84,31 @@ type Config struct {
 	// internal/bench runs both.
 	PerCycleALPU bool
 
+	// ALPUFaults, when active, attaches the device-level fault model to
+	// both matching units (per-unit streams are derived from the seed, the
+	// NIC id and the unit id, so every device in the world faults
+	// independently and deterministically) and arms the firmware's
+	// strike/resync/failover recovery machinery (devfault.go).
+	ALPUFaults *alpu.FaultModel
+	// FwCrashProb is the per-pending-work-item probability of an injected
+	// firmware crash at the loop top. The crashed firmware restarts after
+	// FwRestartDelay and replays device state from the shadow queues.
+	FwCrashProb float64
+	// FwCrashSeed seeds the crash stream (0 = derived from ID).
+	FwCrashSeed uint64
+	// FaultStrikeLimit is the number of consecutive device faults after
+	// which the firmware declares a unit dead and hot-fails-over to
+	// software matching (0 = 5).
+	FaultStrikeLimit int
+	// FaultResultTimeout is the base response-wait budget when device
+	// faults are configured (0 = 10µs); it doubles with each strike.
+	FaultResultTimeout sim.Time
+	// FaultRetryBase is the base re-engagement backoff after a strike
+	// (0 = 20µs), exponential in the strike count, capped.
+	FaultRetryBase sim.Time
+	// FwRestartDelay is the modelled firmware reboot time (0 = 10µs).
+	FwRestartDelay sim.Time
+
 	// UseHashList switches the software queues to the hash organisation
 	// of §II (the abl-hash ablation baseline). Mutually exclusive with
 	// UseALPU in the evaluated configurations.
@@ -184,6 +209,12 @@ type mirrorQueue struct {
 	// probes that have been delivered to the unit and whose results are
 	// still outstanding.
 	probed map[uint64]bool
+
+	// Device-fault recovery state (devfault.go).
+	strikes    int      // consecutive unresolved device faults
+	retryAt    sim.Time // insert episodes gated until this instant
+	needResync bool     // mirror state suspect; resync at next safe point
+	alpuDead   bool     // failed over: the hash shadow serves matching
 }
 
 type sendState struct {
@@ -259,6 +290,10 @@ type NIC struct {
 	// most recent kept for diagnostics.
 	errTotal uint64
 	lastErr  error
+
+	// crashRng drives firmware crash injection (devfault.go); nil when
+	// Config.FwCrashProb is zero.
+	crashRng *fwRand
 }
 
 // addrAlloc is a bump allocator with LIFO reuse, approximating the
@@ -315,6 +350,13 @@ func New(eng *sim.Engine, cfg Config, net *network.Network) *NIC {
 	}
 	if n.reg == nil {
 		n.reg = telemetry.NewRegistry()
+	}
+	if cfg.FwCrashProb > 0 {
+		seed := cfg.FwCrashSeed
+		if seed == 0 {
+			seed = uint64(cfg.ID) + 1
+		}
+		n.crashRng = newFwRand(seed)
 	}
 	if n.tracer != nil {
 		n.tracer.NameProcess(cfg.ID, fmt.Sprintf("nic%d", cfg.ID))
@@ -391,6 +433,11 @@ func (n *NIC) alpuConfig(v alpu.Variant, tid int) alpu.Config {
 	if n.cfg.PerCycleALPU {
 		c.PerCycle = true
 	}
+	if n.cfg.ALPUFaults.Active() {
+		f := *n.cfg.ALPUFaults
+		f.Seed = f.Seed + uint64(n.cfg.ID)*0x9E3779B9 + uint64(tid)*0x85EBCA6B
+		c.Faults = &f
+	}
 	c.Tracer = n.tracer
 	c.TracePID = n.cfg.ID
 	c.TraceTID = tid
@@ -419,6 +466,22 @@ func (n *NIC) ErrorCount(op string) uint64 {
 
 // LastError returns the most recent recoverable protocol error, or nil.
 func (n *NIC) LastError() error { return n.lastErr }
+
+// ALPUDead reports whether the named queue's unit ("posted"/"unexp") has
+// been declared dead and failed over to software matching.
+func (n *NIC) ALPUDead(name string) bool {
+	if name == "posted" {
+		return n.posted.alpuDead
+	}
+	return n.unexp.alpuDead
+}
+
+// FailoverCount returns one of the live failover counters ("strikes",
+// "resyncs", "deaths", "shadow_rebuilds", "fw_crashes", "fw_restarts",
+// "fault_responses").
+func (n *NIC) FailoverCount(name string) uint64 {
+	return n.reg.Counter(fmt.Sprintf("nic%d/failover/%s", n.cfg.ID, name)).Get()
+}
 
 // noteError records a recoverable protocol error: counted, retained for
 // diagnostics, and the firmware carries on (true invariant violations
@@ -575,5 +638,15 @@ func (n *NIC) PublishTelemetry() {
 	}
 	if n.cfg.Reliable {
 		n.reg.Gauge(pre + "/rel/pending").Set(int64(n.RelPending()))
+	}
+	if n.devFaultsOn() {
+		dead := int64(0)
+		if n.posted.alpuDead {
+			dead++
+		}
+		if n.unexp.alpuDead {
+			dead++
+		}
+		n.reg.Gauge(pre + "/failover/dead_units").Set(dead)
 	}
 }

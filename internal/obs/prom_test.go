@@ -74,6 +74,63 @@ alpusim_depth_count 3
 	}
 }
 
+// The device-fault exposition: the rollup families the mpi layer emits
+// when device faults are configured (alpu_faults/* summed over units,
+// nic_failover/* summed over NICs) must surface as the documented
+// alpusim_alpu_faults_* and alpusim_nic_failover_* Prometheus families,
+// byte-exactly, so dashboards watching a chaos campaign can rely on them.
+func TestWritePromDeviceFaultFamilies(t *testing.T) {
+	r := telemetry.NewRegistry()
+	r.Counter("alpu_faults/bit_flips").Add(6)
+	r.Counter("alpu_faults/parity_quarantines").Add(6)
+	r.Counter("alpu_faults/dropped_results").Add(2)
+	r.Counter("alpu_faults/stuck_cycles").Add(1179)
+	r.Counter("alpu_faults/dead_discards").Add(70)
+	r.Counter("nic_failover/strikes").Add(23)
+	r.Counter("nic_failover/resyncs").Add(19)
+	r.Counter("nic_failover/deaths").Add(4)
+	r.Counter("nic_failover/shadow_rebuilds").Add(4)
+	r.Counter("nic_failover/fw_crashes").Add(7)
+	r.Counter("nic_failover/fw_restarts").Add(7)
+	r.Counter("nic_failover/fault_responses").Add(6)
+	r.Gauge("nic0/failover/dead_units").Set(1)
+
+	var b bytes.Buffer
+	if err := WriteProm(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE alpusim_alpu_faults_bit_flips counter
+alpusim_alpu_faults_bit_flips 6
+# TYPE alpusim_alpu_faults_dead_discards counter
+alpusim_alpu_faults_dead_discards 70
+# TYPE alpusim_alpu_faults_dropped_results counter
+alpusim_alpu_faults_dropped_results 2
+# TYPE alpusim_alpu_faults_parity_quarantines counter
+alpusim_alpu_faults_parity_quarantines 6
+# TYPE alpusim_alpu_faults_stuck_cycles counter
+alpusim_alpu_faults_stuck_cycles 1179
+# TYPE alpusim_nic_failover_deaths counter
+alpusim_nic_failover_deaths 4
+# TYPE alpusim_nic_failover_fault_responses counter
+alpusim_nic_failover_fault_responses 6
+# TYPE alpusim_nic_failover_fw_crashes counter
+alpusim_nic_failover_fw_crashes 7
+# TYPE alpusim_nic_failover_fw_restarts counter
+alpusim_nic_failover_fw_restarts 7
+# TYPE alpusim_nic_failover_resyncs counter
+alpusim_nic_failover_resyncs 19
+# TYPE alpusim_nic_failover_shadow_rebuilds counter
+alpusim_nic_failover_shadow_rebuilds 4
+# TYPE alpusim_nic_failover_strikes counter
+alpusim_nic_failover_strikes 23
+# TYPE alpusim_nic0_failover_dead_units gauge
+alpusim_nic0_failover_dead_units 1
+`
+	if b.String() != want {
+		t.Errorf("device-fault exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
 // Two paths that sanitize to the same metric name must each keep their
 // identity via a path label, in sorted path order.
 func TestWritePromCollision(t *testing.T) {

@@ -149,6 +149,37 @@ func (p *Process) WaitCond(s *Signal, cond func() bool) {
 	}
 }
 
+// WaitCondUntil behaves like WaitCond but gives up after d simulated time.
+// It reports whether cond held (true) or the deadline expired first (false).
+// cond is tested immediately; a zero or negative d degenerates to that
+// single test. The deadline timer is cancellable, so a satisfied wait leaves
+// no stray event behind — the world can still drain to quiescence.
+func (p *Process) WaitCondUntil(s *Signal, cond func() bool, d Time) bool {
+	if cond() {
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	deadline := p.Now() + d
+	expired := false
+	id := p.eng.ScheduleCancellable(d, func() {
+		expired = true
+		s.Raise()
+	})
+	for !cond() {
+		if expired || p.Now() >= deadline {
+			return false
+		}
+		s.addWaiter(p)
+		p.park()
+	}
+	if !expired {
+		p.eng.Cancel(id)
+	}
+	return true
+}
+
 // Signal is a wakeup flag processes can block on. Raise stores a level (so a
 // Raise with no waiter is not lost) and wakes all current waiters at the
 // same simulated instant. It is the moral equivalent of the "FIFO became

@@ -135,6 +135,59 @@ func TestWaitCond(t *testing.T) {
 	}
 }
 
+func TestWaitCondUntilSatisfied(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	n := 0
+	var ok bool
+	var woke Time
+	e.Spawn("w", func(p *Process) {
+		ok = p.WaitCondUntil(s, func() bool { return n >= 2 }, 100*Nanosecond)
+		woke = p.Now()
+	})
+	for i := 1; i <= 3; i++ {
+		e.Schedule(Time(i)*10*Nanosecond, func() {
+			n++
+			s.Raise()
+		})
+	}
+	e.Run()
+	if !ok || woke != 20*Nanosecond {
+		t.Fatalf("WaitCondUntil = %v at %v, want true at 20ns", ok, woke)
+	}
+}
+
+func TestWaitCondUntilExpires(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	var ok bool
+	var woke Time
+	e.Spawn("w", func(p *Process) {
+		ok = p.WaitCondUntil(s, func() bool { return false }, 50*Nanosecond)
+		woke = p.Now()
+	})
+	// Raises that never satisfy the condition must not extend the wait.
+	e.Schedule(10*Nanosecond, s.Raise)
+	e.Run()
+	if ok || woke != 50*Nanosecond {
+		t.Fatalf("WaitCondUntil = %v at %v, want false at 50ns", ok, woke)
+	}
+}
+
+func TestWaitCondUntilImmediate(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	var okTrue, okZero bool
+	e.Spawn("w", func(p *Process) {
+		okTrue = p.WaitCondUntil(s, func() bool { return true }, 0)
+		okZero = p.WaitCondUntil(s, func() bool { return false }, 0)
+	})
+	e.Run()
+	if !okTrue || okZero {
+		t.Fatalf("immediate WaitCondUntil = %v,%v, want true,false", okTrue, okZero)
+	}
+}
+
 func TestProcessDone(t *testing.T) {
 	e := NewEngine()
 	p := e.Spawn("p", func(p *Process) { p.Sleep(Nanosecond) })
