@@ -13,6 +13,11 @@
 //	phases         per-message latency phase breakdown: the Fig. 5 workload
 //	               decomposed into inject/wire/recovery/rxfifo/search/
 //	               deliver/host phases that sum to the end-to-end latency
+//	critpath       causal critical-path analysis: the Fig. 5 workload as a
+//	               causal DAG — per-resource blame for the critical path
+//	               (sums to 100.0%), what-if speedups with one resource
+//	               zeroed, and the slowest causal chains; -metrics FILE
+//	               writes the machine-readable JSON report
 //	chaos          the figure workloads over a faulty network: injected
 //	               faults vs the NIC reliability protocol's recovery stats
 //	devchaos       the device-chaos campaign: an N-rank soak over NICs
@@ -102,7 +107,7 @@ var (
 	faultSpec  = flag.String("faults", "", "fault model: a probability (\"0.02\") or class=prob pairs (\"drop=0.01,dup=0.01,reorder=0.02,corrupt=0.005\")")
 	faultSeed  = flag.Int64("seed", 1, "fault-injection seed (same seed => byte-identical run)")
 	tracePath  = flag.String("trace", "", "phases experiment: write Chrome trace-event JSON to this file (\"-\" = stdout)")
-	metricsOut = flag.String("metrics", "", "phases experiment: write the merged metrics snapshot JSON to this file (\"-\" = stdout)")
+	metricsOut = flag.String("metrics", "", "phases: write the merged metrics snapshot JSON to this file; critpath: write the causal report JSON (\"-\" = stdout)")
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 	perCycle   = flag.Bool("percycle", false, "force the per-cycle ALPU reference model (no cycle batching); outputs must be byte-identical")
@@ -110,6 +115,7 @@ var (
 	linger     = flag.Duration("linger", 0, "with -serve: keep the observability server up this long after the experiments finish")
 	logPath    = flag.String("log", "", "write structured diagnostics (slog text, simulated-time stamped) to this file (\"-\" = stderr)")
 	flightDump = flag.String("flightdump", "flight.json", "stall experiment: write the flight-recorder dump (Perfetto-loadable trace JSON) here on watchdog expiry")
+	flightSize = flag.Int("flightsize", 0, "flight-recorder ring capacity in events (0 = default when a watchdog is armed; < 0 disables the recorder)")
 )
 
 // diagLog is the process's structured diagnostic logger (nil without
@@ -168,6 +174,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "alpusim: observability plane on http://%s\n", addr)
 		bench.WorldObserver = func(w *mpi.World) { srv.MergeSnapshot(w.TelemetrySnapshot()) }
+		bench.CritPathObserver = func(label string, rep telemetry.CausalReport) { srv.AddCritPath(label, rep) }
 	}
 	bench.PerCycleALPU = *perCycle
 	switch *experiment {
@@ -191,6 +198,8 @@ func main() {
 		anchors()
 	case "phases":
 		phasesExp()
+	case "critpath":
+		critpathExp()
 	case "chaos":
 		chaosExp()
 	case "devchaos":
@@ -238,6 +247,7 @@ func stallExp() {
 		NIC:            bench.NICConfig(bench.Baseline),
 		Partitions:     *par,
 		WatchdogLimit:  limit,
+		FlightEvents:   *flightSize,
 		FlightDumpPath: *flightDump,
 		Log:            diagLog,
 	})
@@ -789,6 +799,45 @@ func phasesExp() {
 	if *metricsOut != "" {
 		err := writeOutput(*metricsOut, func(w io.Writer) error {
 			return bench.MergedMetrics(pts).WriteJSON(w)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alpusim: -metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// critpathExp runs the causal critical-path analysis over the Fig. 5
+// workload: each (NIC kind, queue length) cell becomes a causal DAG, and
+// the report shows where the end-to-end critical path actually goes
+// (blame shares sum to 100.0%), what zeroing one resource would buy
+// (the Fig. 5 argument, computed instead of asserted), and the slowest
+// message chains. -metrics FILE writes the machine-readable JSON report;
+// output is byte-identical at any -jobs / -par setting.
+func critpathExp() {
+	obsLabel("critpath")
+	var fm *network.FaultModel
+	if *faultSpec != "" {
+		var err error
+		fm, err = network.ParseFaults(*faultSpec, *faultSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alpusim: -faults: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	pts := bench.RunCritPath(bench.CritPathConfig{
+		QueueLens:  phasesLens(),
+		MsgSize:    *msgSize,
+		Jobs:       *jobs,
+		Partitions: *par,
+		Faults:     fm,
+	})
+	fmt.Printf("Causal critical-path analysis: %d-byte messages, final-iteration chains\n", *msgSize)
+	bench.RenderCritPath(os.Stdout, pts)
+	fmt.Println()
+	if *metricsOut != "" {
+		err := writeOutput(*metricsOut, func(w io.Writer) error {
+			return bench.WriteCritPathJSON(w, pts)
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "alpusim: -metrics: %v\n", err)

@@ -58,6 +58,7 @@ var (
 	memProfile = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 	serveAddr  = flag.String("serve", "", "serve the live observability plane (/metrics, /healthz, /progress) on this address while the studies run")
 	linger     = flag.Duration("linger", 0, "with -serve: keep the observability server up this long after the studies finish")
+	flightSize = flag.Int("flightsize", 0, "flight-recorder ring capacity in events per study world (0 = default when a watchdog is armed; < 0 disables the recorder)")
 )
 
 // faultyWatchdog bounds each study world when faults are injected; the
@@ -120,6 +121,9 @@ func main() {
 	}
 	if *parFlag > 0 {
 		opts = append(opts, workloads.WithPartitions(*parFlag))
+	}
+	if *flightSize != 0 {
+		opts = append(opts, workloads.WithFlightEvents(*flightSize))
 	}
 	var srv *obs.Server
 	if *serveAddr != "" {

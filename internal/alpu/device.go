@@ -8,6 +8,7 @@ import (
 	"alpusim/internal/params"
 	"alpusim/internal/sim"
 	"alpusim/internal/telemetry"
+	"alpusim/internal/trace"
 )
 
 // Config describes a Device build point and its timing.
@@ -106,6 +107,11 @@ type Stats struct {
 	DroppedResults uint64 // result-FIFO entries silently lost
 	StuckCycles    uint64 // dead compaction cycles from stuck steps
 	DeadDiscards   uint64 // FIFO entries swallowed after device death
+
+	// SearchCycles distributes per-probe search service time in device
+	// clock cycles (pipeline occupancy plus any stuck-step stall), the
+	// device-side complement of the firmware's match-depth histograms.
+	SearchCycles trace.Histogram
 }
 
 // Device is the cycle-level ALPU model. It runs as its own co-simulated
@@ -296,6 +302,7 @@ func (d *Device) Publish(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix + "/result_stalls").Set(s.ResultStalls)
 	reg.Gauge(prefix + "/max_occupancy").SetMax(int64(s.MaxOccupancy))
 	reg.Gauge(prefix + "/occupancy").Set(int64(d.Occupancy()))
+	reg.Histogram(prefix + "/search_cycles").Set(s.SearchCycles)
 	if d.cfg.Faults.Active() {
 		reg.Counter(prefix + "/faults/bit_flips").Set(s.BitFlips)
 		reg.Counter(prefix + "/faults/parity_quarantines").Set(s.ParityFaults)
@@ -731,6 +738,9 @@ func (d *Device) doMatch(p *sim.Process, probe Probe, inInsertMode bool) {
 		}
 	}
 	d.stats.Matches++
+	if period := d.cfg.Clock.Period; period > 0 {
+		d.stats.SearchCycles.Add(int((p.Now() - searchStart) / period))
+	}
 	if hit {
 		d.stats.Hits++
 		d.pushResult(p, Response{Kind: RespMatchSuccess, Tag: tag, Probe: probe})

@@ -118,13 +118,14 @@ type PrepostedConfig struct {
 	Faults   *network.FaultModel
 	Watchdog sim.Time
 
-	// Telemetry / Tracer / Phases instrument the point's world. Each
-	// world must own its recorders, so these only make sense when the
-	// config describes a single point (the phases and chaos harnesses
-	// build a fresh config per cell).
+	// Telemetry / Tracer / Phases / Causal instrument the point's world.
+	// Each world must own its recorders, so these only make sense when the
+	// config describes a single point (the phases, chaos and critpath
+	// harnesses build a fresh config per cell).
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
 	Phases    *telemetry.Phases
+	Causal    *telemetry.Causal
 }
 
 // jobs maps the config's zero value to the historical sequential run.
@@ -207,8 +208,19 @@ func prepostedPoint(cfg PrepostedConfig, q, p int) (sim.Time, *mpi.World) {
 			}
 			r.Barrier()
 			for k := 0; k < iters; k++ {
+				key := mpi.MsgKey(0, matchBase+k)
 				sendStart[k] = r.Now()
-				cfg.Phases.Stamp(mpi.MsgKey(0, matchBase+k), telemetry.StampInject, r.Now())
+				cfg.Phases.Stamp(key, telemetry.StampInject, r.Now())
+				cfg.Causal.Stamp(key, telemetry.StampInject, r.Now())
+				// Rank 0 alone records the cause links — it owns the static
+				// dependency structure of this workload: the ack exists
+				// because the probe matched, and the next probe is posted
+				// only once the ack completed. Single-writer, so the links
+				// are identical at any partition count.
+				cfg.Causal.Cause(mpi.MsgKey(1, ackBase+k), key)
+				if k > 0 {
+					cfg.Causal.Cause(key, mpi.MsgKey(1, ackBase+k-1))
+				}
 				r.Send(1, matchBase+k, cfg.MsgSize)
 				r.Wait(acks[k])
 			}
@@ -238,6 +250,7 @@ func prepostedPoint(cfg PrepostedConfig, q, p int) (sim.Time, *mpi.World) {
 		Ranks: 2, NIC: cfg.NIC, Partitions: cfg.Partitions,
 		Faults: cfg.Faults, WatchdogLimit: cfg.Watchdog,
 		Telemetry: cfg.Telemetry, Tracer: cfg.Tracer, Phases: cfg.Phases,
+		Causal: cfg.Causal,
 	}, progs)
 
 	observeWorld(w)

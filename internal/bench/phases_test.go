@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"alpusim/internal/network"
+	"alpusim/internal/sim"
 	"alpusim/internal/telemetry"
+	"alpusim/internal/trace"
 )
 
 // The acceptance check of the phase experiment: for every NIC kind the
@@ -131,4 +133,96 @@ func TestPhasesCleanMetrics(t *testing.T) {
 	if s.Sum("fw/packets_handled") == 0 {
 		t.Error("firmware packet counters not published")
 	}
+}
+
+// Device-fault recovery must stamp into the right phases: the retry,
+// resync and failover delay a degraded cell suffers lands in the
+// search/recovery/rxfifo side of the pipeline — never in deliver
+// (match -> completion write), which is fault-free by construction — and
+// the columns still telescope to the measured end-to-end latency.
+func TestPhasesDeviceFaultsLandBeforeDeliver(t *testing.T) {
+	clean := RunPhases(PhasesConfig{Kinds: []NICKind{ALPU128}, QueueLens: []int{64}})[0]
+	cleanPerMsg := func(p telemetry.Phase) sim.Time {
+		return clean.Totals.Durs[p] / sim.Time(clean.Totals.Messages)
+	}
+	scenarios := []struct {
+		name string
+		fm   network.FaultModel
+	}{
+		{"bitflip", network.FaultModel{Seed: 42, ALPUBitFlipProb: 0.1}},
+		{"death-failover", network.FaultModel{Seed: 42, ALPUDeathAt: 1 * sim.Nanosecond}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			fm := sc.fm
+			p := RunPhases(PhasesConfig{
+				Kinds: []NICKind{ALPU128}, QueueLens: []int{64}, Faults: &fm,
+			})[0]
+			if p.Totals.Messages == 0 {
+				t.Fatal("no completed messages under device faults")
+			}
+			// Telescoping must survive the fault machinery, per message and
+			// in aggregate.
+			var sum sim.Time
+			for _, d := range p.Totals.Durs {
+				sum += d
+			}
+			if sum != p.Totals.Total {
+				t.Errorf("aggregate phases sum to %v, total %v", sum, p.Totals.Total)
+			}
+			var bsum sim.Time
+			for _, d := range p.Breakdown.Durs {
+				bsum += d
+			}
+			if bsum != p.Breakdown.Total || p.Breakdown.Total != p.Latency {
+				t.Errorf("final-iteration phases %v / total %v / e2e %v diverge",
+					bsum, p.Breakdown.Total, p.Latency)
+			}
+			// The recovery delay is real and visible upstream of delivery.
+			perMsg := func(ph telemetry.Phase) sim.Time {
+				return p.Totals.Durs[ph] / sim.Time(p.Totals.Messages)
+			}
+			degraded := perMsg(telemetry.PhaseSearch) + perMsg(telemetry.PhaseRecovery) +
+				perMsg(telemetry.PhaseRxFIFO)
+			baseline := cleanPerMsg(telemetry.PhaseSearch) + cleanPerMsg(telemetry.PhaseRecovery) +
+				cleanPerMsg(telemetry.PhaseRxFIFO)
+			if degraded <= baseline {
+				t.Errorf("device faults added no search/recovery/rxfifo time: %v <= clean %v",
+					degraded, baseline)
+			}
+			// Deliver (match -> completion) must not absorb recovery time.
+			if got, want := perMsg(telemetry.PhaseDeliver), cleanPerMsg(telemetry.PhaseDeliver); got > want {
+				t.Errorf("deliver phase grew under device faults: %v > clean %v", got, want)
+			}
+		})
+	}
+}
+
+// The ALPU device publishes its per-probe search service time as a
+// histogram, so the snapshot table and the Prometheus quantile gauges
+// can report p50/p95/p99 search latency per unit.
+func TestALPUSearchCyclesHistogramPublished(t *testing.T) {
+	p := RunPhases(PhasesConfig{Kinds: []NICKind{ALPU128}, QueueLens: []int{32}})[0]
+	populated := 0
+	for name, h := range p.Metrics.Hists {
+		if !strings.HasSuffix(name, "/search_cycles") || h.N() == 0 {
+			continue // the unexpected-queue unit sees no probes here
+		}
+		populated++
+		if h.Percentile(0.5) <= 0 {
+			t.Errorf("%s p50 = %d, want > 0", name, h.Percentile(0.5))
+		}
+	}
+	if populated == 0 {
+		t.Errorf("no populated search_cycles histogram in snapshot; hists: %v",
+			keysOf(p.Metrics.Hists))
+	}
+}
+
+func keysOf(m map[string]trace.Histogram) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
 }

@@ -81,6 +81,9 @@ type Config struct {
 	Tracer *telemetry.Tracer
 	// Phases records per-message latency pipeline stamps.
 	Phases *telemetry.Phases
+	// Causal records per-message causal context (pipeline stamps, cause
+	// links, resource annotations) for critical-path analysis.
+	Causal *telemetry.Causal
 
 	// FlightEvents sizes the world's flight recorder: a bounded ring of
 	// the most recent trace events, recorded even when no full Tracer is
@@ -111,11 +114,12 @@ type World struct {
 	NICs  []*nic.NIC
 	Hosts []*host.Host
 
-	// Tel is the world's metrics registry (never nil); Tracer and Phases
-	// mirror the Config fields (nil when not requested).
+	// Tel is the world's metrics registry (never nil); Tracer, Phases and
+	// Causal mirror the Config fields (nil when not requested).
 	Tel    *telemetry.Registry
 	Tracer *telemetry.Tracer
 	Phases *telemetry.Phases
+	Causal *telemetry.Causal
 
 	// Flight is the recorder the world's components trace into: the
 	// bounded flight ring when no full tracer was configured, or the
@@ -125,15 +129,16 @@ type World struct {
 	Flight *telemetry.Tracer
 
 	// Partitioned mode (Config.Partitions > 0).
-	Engines     []*sim.Engine // per-partition engines (nil when serial)
-	ps          *sim.PartitionSet
-	partOf      []int                // rank -> partition
-	recShards   []*telemetry.Tracer  // per-partition tracer/flight shards
-	phaseShards []*telemetry.Phases  // per-partition phase shards
-	wds         []*sim.Watchdog      // per-partition watchdogs
-	wdErrs      []*sim.WatchdogError // per-partition expiry, read at barriers
-	absorbed    bool                 // shards folded into Tracer/Phases
-	pendingDump string               // flight dump requested mid-window (under mu)
+	Engines      []*sim.Engine // per-partition engines (nil when serial)
+	ps           *sim.PartitionSet
+	partOf       []int                // rank -> partition
+	recShards    []*telemetry.Tracer  // per-partition tracer/flight shards
+	phaseShards  []*telemetry.Phases  // per-partition phase shards
+	causalShards []*telemetry.Causal  // per-partition causal shards
+	wds          []*sim.Watchdog      // per-partition watchdogs
+	wdErrs       []*sim.WatchdogError // per-partition expiry, read at barriers
+	absorbed     bool                 // shards folded into Tracer/Phases
+	pendingDump  string               // flight dump requested mid-window (under mu)
 
 	log          *slog.Logger
 	flightPath   string
@@ -235,6 +240,10 @@ func NewWorld(cfg Config) *World {
 	if cfg.Phases != nil {
 		net.SetPhases(cfg.Phases)
 	}
+	if cfg.Causal != nil {
+		w.Causal = cfg.Causal
+		net.SetCausal(cfg.Causal)
+	}
 	// Engine counter sampling only rides the full tracer: a sampler
 	// would flood the small flight ring with counter events and evict
 	// the firmware history a post-mortem is actually after.
@@ -246,6 +255,7 @@ func NewWorld(cfg Config) *World {
 		nc.Telemetry = reg
 		nc.Tracer = rec
 		nc.Phases = cfg.Phases
+		nc.Causal = cfg.Causal
 		nc.Log = w.log
 		if w.flightPath != "" {
 			nc.ErrorHook = func(error) { w.dumpFlight("protocol-error", false) }
@@ -260,6 +270,9 @@ func NewWorld(cfg Config) *World {
 			var b strings.Builder
 			fmt.Fprintf(&b, "faults: %v injected [%s]\n", cfg.Faults, net.FaultStats().String())
 			b.WriteString(w.TelemetrySnapshot().Table())
+			if ch, ok := w.Causal.Top1(); ok {
+				fmt.Fprintf(&b, "\nslowest causal chain: %s", ch.String())
+			}
 			return b.String()
 		}
 		wd.OnDump = func() {
@@ -339,26 +352,38 @@ func newPartitionedWorld(cfg Config) *World {
 			phaseShards[p] = telemetry.NewPhases()
 		}
 	}
+	var causalShards []*telemetry.Causal
+	if cfg.Causal != nil {
+		causalShards = make([]*telemetry.Causal, nparts)
+		for p := range causalShards {
+			causalShards[p] = telemetry.NewCausal()
+		}
+	}
 	w := &World{
-		Eng:         engines[0],
-		Net:         net,
-		Tel:         reg,
-		Tracer:      cfg.Tracer,
-		Phases:      cfg.Phases,
-		Engines:     engines,
-		ps:          ps,
-		partOf:      partOf,
-		recShards:   recShards,
-		phaseShards: phaseShards,
-		log:         telemetry.SimLogger(cfg.Log, engines[0].Now),
-		flightPath:  cfg.FlightDumpPath,
-		devFaults:   cfg.Faults.DeviceActive(),
-		nextCtx:     worldContext,
-		ctxTable:    make(map[string]uint16),
-		boards:      make(map[string][]any),
+		Eng:          engines[0],
+		Net:          net,
+		Tel:          reg,
+		Tracer:       cfg.Tracer,
+		Phases:       cfg.Phases,
+		Causal:       cfg.Causal,
+		Engines:      engines,
+		ps:           ps,
+		partOf:       partOf,
+		recShards:    recShards,
+		phaseShards:  phaseShards,
+		causalShards: causalShards,
+		log:          telemetry.SimLogger(cfg.Log, engines[0].Now),
+		flightPath:   cfg.FlightDumpPath,
+		devFaults:    cfg.Faults.DeviceActive(),
+		nextCtx:      worldContext,
+		ctxTable:     make(map[string]uint16),
+		boards:       make(map[string][]any),
 	}
 	if phaseShards != nil {
 		net.SetPhasesSharded(phaseShards)
+	}
+	if causalShards != nil {
+		net.SetCausalSharded(causalShards)
 	}
 	// No engine counter sampling: the serial sampler's track is a single
 	// pid 999 stream, and a per-partition equivalent would make the trace
@@ -377,6 +402,9 @@ func newPartitionedWorld(cfg Config) *World {
 		nc.Tracer = recShards[p]
 		if phaseShards != nil {
 			nc.Phases = phaseShards[p]
+		}
+		if causalShards != nil {
+			nc.Causal = causalShards[p]
 		}
 		nc.Log = logs[p]
 		if w.flightPath != "" && recShards[0] != nil {
@@ -448,6 +476,15 @@ func (w *World) onBarrier(cfg Config) {
 		var b strings.Builder
 		fmt.Fprintf(&b, "faults: %v injected [%s]\n", cfg.Faults, w.Net.FaultStats().String())
 		b.WriteString(w.TelemetrySnapshot().Table())
+		if w.causalShards != nil {
+			// All partitions are quiescent at the barrier, so the causal
+			// shards can be merged for the dump without racing writers.
+			m := telemetry.NewCausal()
+			m.Absorb(w.causalShards...)
+			if ch, ok := m.Top1(); ok {
+				fmt.Fprintf(&b, "\nslowest causal chain: %s", ch.String())
+			}
+		}
 		err.Dump += "\n" + b.String()
 		if w.log != nil {
 			w.log.Error("watchdog expired", "limit", cfg.WatchdogLimit.String())
@@ -482,6 +519,9 @@ func (w *World) absorbShards() {
 	}
 	if w.Phases != nil {
 		w.Phases.Absorb(w.phaseShards...)
+	}
+	if w.Causal != nil {
+		w.Causal.Absorb(w.causalShards...)
 	}
 }
 

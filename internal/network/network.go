@@ -134,6 +134,7 @@ type Endpoint struct {
 
 	eng    *sim.Engine
 	phases *telemetry.Phases
+	causal *telemetry.Causal
 }
 
 // phaseKey returns the latency-breakdown key for packets that carry an
@@ -153,11 +154,12 @@ func phaseKey(p Packet) (uint64, bool) {
 // drop path is only reachable on raw unreliable endpoints.
 func (ep *Endpoint) deliverNow(p Packet) {
 	key, tracked := uint64(0), false
-	if ep.phases != nil {
+	if ep.phases != nil || ep.causal != nil {
 		if key, tracked = phaseKey(p); tracked {
 			// Arrive is stamped before the reliability ingress, Deliver
 			// only on FIFO admission; the gap is the recovery phase.
 			ep.phases.Stamp(key, telemetry.StampArrive, ep.eng.Now())
+			ep.causal.Stamp(key, telemetry.StampArrive, ep.eng.Now())
 		}
 	}
 	if ep.Ingress != nil && !ep.Ingress(p) {
@@ -169,6 +171,7 @@ func (ep *Endpoint) deliverNow(p Packet) {
 	if ep.RxQ.Push(p) {
 		if tracked {
 			ep.phases.Stamp(key, telemetry.StampDeliver, ep.eng.Now())
+			ep.causal.Stamp(key, telemetry.StampDeliver, ep.eng.Now())
 		}
 		ep.Arrived.Raise()
 	}
@@ -188,6 +191,7 @@ type Network struct {
 	fstats FaultStats
 
 	phases *telemetry.Phases
+	causal *telemetry.Causal
 
 	// Partitioned mode (NewPartitioned): the world is split across
 	// per-partition engines under conservative synchronization, and all
@@ -283,6 +287,23 @@ func (n *Network) SetPhasesSharded(shards []*telemetry.Phases) {
 	}
 }
 
+// SetCausal installs a causal recorder; the network contributes the same
+// wire-boundary stamps it gives the phase recorder.
+func (n *Network) SetCausal(c *telemetry.Causal) {
+	n.causal = c
+	for _, ep := range n.endpoints {
+		ep.causal = c
+	}
+}
+
+// SetCausalSharded installs one causal recorder per partition, mirroring
+// SetPhasesSharded; Causal.Absorb reassembles the shards after the run.
+func (n *Network) SetCausalSharded(shards []*telemetry.Causal) {
+	for i, ep := range n.endpoints {
+		ep.causal = shards[n.partOf[i]]
+	}
+}
+
 // Endpoint returns endpoint i.
 func (n *Network) Endpoint(i int) *Endpoint { return n.endpoints[i] }
 
@@ -307,12 +328,13 @@ func (n *Network) Send(pkt Packet) {
 	pkt.Seq = n.seq
 
 	now := n.eng.Now()
-	if n.phases != nil {
+	if n.phases != nil || n.causal != nil {
 		// WireTx is stamped when the NIC hands the packet to the link, so
 		// transmit serialisation waits land in the wire phase. First-wins
 		// keeps retransmits from moving the stamp.
 		if key, ok := phaseKey(pkt); ok {
 			n.phases.Stamp(key, telemetry.StampWireTx, now)
+			n.causal.Stamp(key, telemetry.StampWireTx, now)
 		}
 	}
 	start := now
@@ -348,9 +370,10 @@ func (n *Network) sendPartitioned(pkt Packet) {
 	pkt.Seq = uint64(pkt.Src+1)<<40 | ln.seq
 
 	now := src.eng.Now()
-	if src.phases != nil {
+	if src.phases != nil || src.causal != nil {
 		if key, ok := phaseKey(pkt); ok {
 			src.phases.Stamp(key, telemetry.StampWireTx, now)
+			src.causal.Stamp(key, telemetry.StampWireTx, now)
 		}
 	}
 	start := now

@@ -133,6 +133,7 @@ func (n *NIC) failCounter(name string) {
 // the flight recorder), the exponential retry gate, and a pending-resync
 // mark that the next safe point acts on.
 func (n *NIC) noteDeviceFault(q *mirrorQueue, op, detail string) {
+	n.faultEvents++
 	q.strikes++
 	q.needResync = true
 	q.retryAt = n.eng.Now() + n.retryBackoff(q.strikes)

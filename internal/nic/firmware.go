@@ -74,8 +74,15 @@ func (n *NIC) handlePacket(e *proc.Engine, pkt network.Packet) {
 	}
 	switch pkt.Kind {
 	case network.Eager, network.RTS:
+		key := uint64(match.Pack(pkt.Hdr))
 		if n.phases != nil {
-			n.phases.Stamp(uint64(match.Pack(pkt.Hdr)), telemetry.StampFwPop, e.Now())
+			n.phases.Stamp(key, telemetry.StampFwPop, e.Now())
+		}
+		n.causal.Stamp(key, telemetry.StampFwPop, e.Now())
+		if n.tracer != nil {
+			// Terminate the cross-rank flow arrow started at the sender's
+			// firmware (the flow id is the packed envelope, globally unique).
+			n.tracer.FlowEnd(n.cfg.ID, tidFirmware, "mpi", "msg", e.Now(), key)
 		}
 		if n.admittedHdrs > 0 {
 			// This header no longer counts against the reliability engine's
@@ -84,12 +91,15 @@ func (n *NIC) handlePacket(e *proc.Engine, pkt network.Packet) {
 			n.admittedHdrs--
 		}
 		e.Cycles(params.HeaderProcessCycles)
+		searchT0, faults0 := e.Now(), n.faultEvents
 		entry := n.matchPosted(e, pkt)
+		n.annotateFaultSearch(&n.posted, key, searchT0, faults0, e.Now())
 		if entry != nil {
 			n.stats.PostedMatches++
 			if n.phases != nil {
-				n.phases.Stamp(uint64(match.Pack(pkt.Hdr)), telemetry.StampMatch, e.Now())
+				n.phases.Stamp(key, telemetry.StampMatch, e.Now())
 			}
+			n.causal.Stamp(key, telemetry.StampMatch, e.Now())
 			pr := entry.Req.(*postedRecv)
 			n.entryAlloc.put(entry.Addr)
 			n.deliverMatched(e, pkt, pr)
@@ -176,6 +186,11 @@ func (n *NIC) handleHostReq(e *proc.Engine, req HostRequest) {
 	switch req.Kind {
 	case ReqSend:
 		e.Cycles(params.SendProcessCycles)
+		if n.tracer != nil {
+			// Open the cross-rank flow arrow for this message; the receiver's
+			// firmware closes it when it pops the header.
+			n.tracer.FlowStart(n.cfg.ID, tidFirmware, "mpi", "msg", e.Now(), uint64(match.Pack(req.Hdr)))
+		}
 		if req.Size <= params.EagerLimit {
 			done := n.dmaTx.Transfer(e.Now(), req.Size)
 			pkt := network.Packet{
@@ -213,6 +228,7 @@ func (n *NIC) handleHostReq(e *proc.Engine, req HostRequest) {
 		e.Cycles(params.PostProcessCycles)
 		// §II: the unexpected-queue search and the posting must be atomic;
 		// the single firmware thread guarantees it.
+		searchT0, faults0 := e.Now(), n.faultEvents
 		entry := n.matchUnexpected(e, req)
 		if entry == nil {
 			pr := &postedRecv{req: req}
@@ -222,9 +238,12 @@ func (n *NIC) handleHostReq(e *proc.Engine, req HostRequest) {
 		}
 		n.stats.UnexpMatches++
 		um := entry.Req.(*unexMsg)
+		key := uint64(match.Pack(um.pkt.Hdr))
+		n.annotateFaultSearch(&n.unexp, key, searchT0, faults0, e.Now())
 		if n.phases != nil {
-			n.phases.Stamp(uint64(match.Pack(um.pkt.Hdr)), telemetry.StampMatch, e.Now())
+			n.phases.Stamp(key, telemetry.StampMatch, e.Now())
 		}
+		n.causal.Stamp(key, telemetry.StampMatch, e.Now())
 		n.entryAlloc.put(entry.Addr)
 		if um.pkt.Kind == network.Eager {
 			// Copy the buffered payload to the host buffer.
@@ -742,6 +761,24 @@ func (n *NIC) resultFor(e *proc.Engine, q *mirrorQueue, key uint64) (alpu.Respon
 			return r, q.inALPU, true
 		}
 		q.pending = append(q.pending, stashedResp{r: r, from: q.inALPU})
+	}
+}
+
+// annotateFaultSearch re-attributes a match-resolution span to the
+// resync/failover resource on the message's causal chain when the queue
+// was degraded while it ran: a strike fired mid-resolution (faultEvents
+// moved), a resync is still pending, the unit carries strikes (matching
+// runs in software until a health check clears them or failover makes
+// alpuDead permanent), or the unit is dead and matching runs on the hash
+// shadow. Fault-free resolutions stay plain search time. The causal
+// analysis clamps the annotation to the FwPop→Match gap, so
+// over-approximation here cannot break telescoping.
+func (n *NIC) annotateFaultSearch(q *mirrorQueue, key uint64, t0 sim.Time, faults0 uint64, now sim.Time) {
+	if n.causal == nil {
+		return
+	}
+	if n.faultEvents != faults0 || q.needResync || q.strikes > 0 || q.alpuDead {
+		n.causal.Annotate(key, telemetry.ResResync, now-t0)
 	}
 }
 

@@ -157,6 +157,9 @@ type Config struct {
 	Tracer *telemetry.Tracer
 	// Phases, when set, receives per-message pipeline stamps.
 	Phases *telemetry.Phases
+	// Causal, when set, receives per-message causal stamps and the
+	// firmware's resync/failover time annotations (telemetry.Causal).
+	Causal *telemetry.Causal
 }
 
 // Stats aggregates firmware activity for the benchmark reports.
@@ -276,6 +279,7 @@ type NIC struct {
 	reg    *telemetry.Registry
 	tracer *telemetry.Tracer
 	phases *telemetry.Phases
+	causal *telemetry.Causal
 
 	// Reliability-engine state (reliability.go). The counters live in the
 	// registry under "nic<ID>/rel/..." (rel holds the cached handles).
@@ -294,6 +298,11 @@ type NIC struct {
 	// crashRng drives firmware crash injection (devfault.go); nil when
 	// Config.FwCrashProb is zero.
 	crashRng *fwRand
+
+	// faultEvents counts device strikes (noteDeviceFault calls) — the
+	// causal recorder compares it across a match resolution to decide
+	// whether the elapsed search time belongs to resync/failover blame.
+	faultEvents uint64
 }
 
 // addrAlloc is a bump allocator with LIFO reuse, approximating the
@@ -347,6 +356,7 @@ func New(eng *sim.Engine, cfg Config, net *network.Network) *NIC {
 		reg:          cfg.Telemetry,
 		tracer:       cfg.Tracer,
 		phases:       cfg.Phases,
+		causal:       cfg.Causal,
 	}
 	if n.reg == nil {
 		n.reg = telemetry.NewRegistry()
@@ -592,7 +602,7 @@ func (n *NIC) complete(reqID uint64, at sim.Time, st CompletionStatus) {
 // the completion lands no earlier than the firmware's current time, and
 // the host observes it one host-bus crossing later (host.Request.DoneAt).
 func (n *NIC) stampCompletion(hdr match.Header, done sim.Time) {
-	if n.phases == nil {
+	if n.phases == nil && n.causal == nil {
 		return
 	}
 	at := done
@@ -602,6 +612,8 @@ func (n *NIC) stampCompletion(hdr match.Header, done sim.Time) {
 	key := uint64(match.Pack(hdr))
 	n.phases.Stamp(key, telemetry.StampComplete, at)
 	n.phases.Stamp(key, telemetry.StampHostDone, at+params.HostBusLatency)
+	n.causal.Stamp(key, telemetry.StampComplete, at)
+	n.causal.Stamp(key, telemetry.StampHostDone, at+params.HostBusLatency)
 }
 
 // PublishTelemetry harvests the NIC's struct counters into the registry

@@ -132,6 +132,26 @@ func WriteProm(w io.Writer, s telemetry.Snapshot) error {
 		}
 	}
 
+	// Summary-style quantile estimates for each histogram family, as a
+	// parallel gauge family under a _quantiles suffix (a histogram family
+	// may not carry extra samples, and dashboards want p50/p95/p99 without
+	// doing histogram_quantile over fixed buckets).
+	for _, name := range names {
+		paths := byName[name]
+		fmt.Fprintf(bw, "# TYPE %s_quantiles gauge\n", name)
+		for _, p := range paths {
+			h := s.Hists[p]
+			extra := ""
+			if len(paths) > 1 {
+				extra = fmt.Sprintf(`,path="%s"`, escapeLabel(p))
+			}
+			for _, q := range h.SummaryQuantiles() {
+				fmt.Fprintf(bw, "%s_quantiles{quantile=%q%s} %d\n",
+					name, strconv.FormatFloat(q.P, 'g', -1, 64), extra, q.Value)
+			}
+		}
+	}
+
 	return bw.Flush()
 }
 

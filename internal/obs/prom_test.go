@@ -68,6 +68,10 @@ alpusim_depth_bucket{le="4096"} 2
 alpusim_depth_bucket{le="+Inf"} 3
 alpusim_depth_sum 5004
 alpusim_depth_count 3
+# TYPE alpusim_depth_quantiles gauge
+alpusim_depth_quantiles{quantile="0.5"} 1
+alpusim_depth_quantiles{quantile="0.95"} 4
+alpusim_depth_quantiles{quantile="0.99"} 4
 `
 	if b.String() != want {
 		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)

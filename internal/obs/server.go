@@ -39,11 +39,18 @@ type Server struct {
 	opts  Options
 	start time.Time
 
-	mu     sync.Mutex
-	merged telemetry.Snapshot
+	mu       sync.Mutex
+	merged   telemetry.Snapshot
+	critpath []namedCritPath
 
 	ln  net.Listener
 	srv *http.Server
+}
+
+// namedCritPath is one world's causal analysis as served on /critpath.
+type namedCritPath struct {
+	Label  string                 `json:"label"`
+	Report telemetry.CausalReport `json:"report"`
 }
 
 // NewServer returns an unstarted server.
@@ -70,6 +77,15 @@ func (s *Server) SetSnapshot(sn telemetry.Snapshot) {
 	s.mu.Unlock()
 }
 
+// AddCritPath appends a finished world's causal critical-path report to
+// the read-only /critpath endpoint, under a label naming the world
+// (e.g. "alpu-128 q=96"). Safe from any goroutine.
+func (s *Server) AddCritPath(label string, rep telemetry.CausalReport) {
+	s.mu.Lock()
+	s.critpath = append(s.critpath, namedCritPath{Label: label, Report: rep})
+	s.mu.Unlock()
+}
+
 // Start listens on addr (":0" picks a free port) and serves in the
 // background. It returns the bound address.
 func (s *Server) Start(addr string) (string, error) {
@@ -82,6 +98,7 @@ func (s *Server) Start(addr string) (string, error) {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/critpath", s.handleCritPath)
 	s.ln = ln
 	s.srv = &http.Server{Handler: mux}
 	go func() {
@@ -122,7 +139,25 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "alpusim observability plane\n\n"+
 		"  /healthz   liveness (JSON)\n"+
 		"  /metrics   Prometheus text exposition\n"+
-		"  /progress  sweep completion (JSON; ?stream=1 or Accept: text/event-stream for SSE)\n")
+		"  /progress  sweep completion (JSON; ?stream=1 or Accept: text/event-stream for SSE)\n"+
+		"  /critpath  causal critical-path reports of finished worlds (JSON)\n")
+}
+
+func (s *Server) handleCritPath(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	reports := make([]namedCritPath, len(s.critpath))
+	copy(reports, s.critpath)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	doc := struct {
+		Worlds []namedCritPath `json:"worlds"`
+	}{Worlds: reports}
+	if doc.Worlds == nil {
+		doc.Worlds = []namedCritPath{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"alpusim/internal/sim"
 	"alpusim/internal/sweep"
 	"alpusim/internal/telemetry"
 )
@@ -177,5 +178,54 @@ func TestServerNilProgress(t *testing.T) {
 	body, _ := get(t, base+"/progress")
 	if !strings.Contains(body, `"points_total": 0`) {
 		t.Errorf("nil-progress /progress = %s", body)
+	}
+}
+
+// /critpath serves the causal reports of finished worlds, in arrival
+// order, as a stable JSON document.
+func TestServerCritPath(t *testing.T) {
+	srv, base := startServer(t, Options{})
+
+	body, resp := get(t, base+"/critpath")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/critpath content-type %q", ct)
+	}
+	var doc struct {
+		Worlds []struct {
+			Label  string                 `json:"label"`
+			Report telemetry.CausalReport `json:"report"`
+		} `json:"worlds"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/critpath not JSON: %v\n%s", err, body)
+	}
+	if len(doc.Worlds) != 0 {
+		t.Fatalf("empty server reported %d worlds", len(doc.Worlds))
+	}
+
+	c := telemetry.NewCausal()
+	for s := telemetry.Stamp(0); s < 8; s++ {
+		c.Stamp(1, s, 10*sim.Time(s))
+	}
+	rep, ok := c.Analyze(1)
+	if !ok {
+		t.Fatal("no report from stamped chain")
+	}
+	srv.AddCritPath("baseline q=8", rep)
+	srv.AddCritPath("alpu-128 q=8", rep)
+
+	body, _ = get(t, base+"/critpath")
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/critpath not JSON after AddCritPath: %v", err)
+	}
+	if len(doc.Worlds) != 2 || doc.Worlds[0].Label != "baseline q=8" {
+		t.Fatalf("worlds = %+v, want 2 in arrival order", doc.Worlds)
+	}
+	if doc.Worlds[0].Report.CriticalPath != rep.CriticalPath {
+		t.Errorf("served critical path %v, want %v",
+			doc.Worlds[0].Report.CriticalPath, rep.CriticalPath)
+	}
+	if !strings.Contains(body, `"permille"`) {
+		t.Error("served report missing blame permille field")
 	}
 }

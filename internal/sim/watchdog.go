@@ -38,8 +38,9 @@ type Watchdog struct {
 	// while the world's final state is still intact.
 	OnDump func()
 
-	fired bool
-	armed bool // a check poller is pending
+	fired    bool
+	armed    bool // a check poller is pending
+	lastPoke Time // simulated time of the latest external Poke
 }
 
 // NewWatchdog arms a watchdog that expires when simulated time reaches
@@ -69,6 +70,7 @@ func (w *Watchdog) Fired() bool { return w.fired }
 // coordinator pokes it when a barrier injects fresh deliveries into that
 // engine, so a partition that drains and is later woken stays guarded.
 func (w *Watchdog) Poke() {
+	w.lastPoke = w.eng.Now()
 	if w.fired || w.armed {
 		return
 	}
@@ -84,6 +86,9 @@ func (w *Watchdog) check() {
 	if w.eng.Now() >= w.limit {
 		w.fired = true
 		dump := w.eng.StateDump()
+		if w.lastPoke > 0 {
+			dump += fmt.Sprintf("\nwatchdog: last external progress poke at %v", w.lastPoke)
+		}
 		if w.Diag != nil {
 			dump += "\n" + w.Diag()
 		}

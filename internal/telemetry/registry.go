@@ -100,6 +100,15 @@ func (h *Histogram) Add(v int) {
 	}
 }
 
+// Set overwrites the underlying histogram wholesale — the harvest path
+// for components that accumulate into their own trace.Histogram and
+// publish it at snapshot time (idempotent, like Counter.Set).
+func (h *Histogram) Set(v trace.Histogram) {
+	if h != nil {
+		h.h = v
+	}
+}
+
 // Hist returns a copy of the underlying histogram.
 func (h *Histogram) Hist() trace.Histogram {
 	if h == nil {
@@ -318,6 +327,7 @@ type jsonHist struct {
 	Mean    float64      `json:"mean"`
 	Max     int          `json:"max"`
 	P50     int          `json:"p50"`
+	P95     int          `json:"p95"`
 	P99     int          `json:"p99"`
 	Buckets []jsonBucket `json:"buckets"`
 }
@@ -349,7 +359,7 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	for name, h := range s.Hists {
 		jh := jsonHist{
 			N: h.N(), Mean: h.Mean(), Max: h.Max(),
-			P50: h.Percentile(0.5), P99: h.Percentile(0.99),
+			P50: h.Percentile(0.5), P95: h.Percentile(0.95), P99: h.Percentile(0.99),
 			Buckets: []jsonBucket{},
 		}
 		for _, b := range h.Buckets() {

@@ -33,12 +33,13 @@ type Tracer struct {
 }
 
 type tevent struct {
-	ph       byte // 'X' span, 'i' instant, 'C' counter
+	ph       byte // 'X' span, 'i' instant, 'C' counter, 's'/'f' flow
 	name     string
 	cat      string
 	pid, tid int
 	ts, dur  sim.Time
 	val      int64
+	id       uint64 // flow correlation id ('s'/'f' only)
 }
 
 type tname struct {
@@ -150,6 +151,28 @@ func (t *Tracer) Count(pid, tid int, name string, at sim.Time, v int64) {
 		pid: pid, tid: tid, ts: at, val: v})
 }
 
+// FlowStart opens a flow arrow at (pid, tid, at): Perfetto draws an
+// arrow from here to the FlowEnd recorded with the same id, linking
+// cross-rank spans (a sender NIC's transmit to the receiver firmware's
+// pop) into one causal thread through the timeline. Flows are skipped in
+// flight-recorder mode: a ring that overwrote one end of an arrow would
+// render dangling flows, and the post-mortem dump consumers assert the
+// plain event alphabet.
+func (t *Tracer) FlowStart(pid, tid int, cat, name string, at sim.Time, id uint64) {
+	if t == nil || t.limit > 0 {
+		return
+	}
+	t.add(tevent{ph: 's', name: name, cat: cat, pid: pid, tid: tid, ts: at, id: id})
+}
+
+// FlowEnd terminates the flow arrow opened by FlowStart with the same id.
+func (t *Tracer) FlowEnd(pid, tid int, cat, name string, at sim.Time, id uint64) {
+	if t == nil || t.limit > 0 {
+		return
+	}
+	t.add(tevent{ph: 'f', name: name, cat: cat, pid: pid, tid: tid, ts: at, id: id})
+}
+
 // Absorb folds the events of shards into t in canonical timeline order:
 // a stable sort by (timestamp, pid, tid). A partitioned world records
 // each partition into its own shard; because every (pid, tid) track is
@@ -249,6 +272,14 @@ func WriteTrace(w io.Writer, tracers ...*Tracer) error {
 			case 'C':
 				emit(fmt.Sprintf(`{"name":%s,"ph":"C","ts":%s,"pid":%d,"tid":%d,"args":{"v":%d}}`,
 					strconv.Quote(e.name), usec(e.ts), e.pid+off, e.tid, e.val))
+			case 's':
+				emit(fmt.Sprintf(`{"name":%s,"cat":%q,"ph":"s","id":%d,"ts":%s,"pid":%d,"tid":%d}`,
+					strconv.Quote(e.name), e.cat, e.id, usec(e.ts), e.pid+off, e.tid))
+			case 'f':
+				// bp:"e" binds the arrow to the enclosing span's end, the
+				// Perfetto convention for flows landing mid-span.
+				emit(fmt.Sprintf(`{"name":%s,"cat":%q,"ph":"f","bp":"e","id":%d,"ts":%s,"pid":%d,"tid":%d}`,
+					strconv.Quote(e.name), e.cat, e.id, usec(e.ts), e.pid+off, e.tid))
 			}
 		}
 	}

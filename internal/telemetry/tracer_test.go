@@ -194,3 +194,47 @@ func TestTraceEngine(t *testing.T) {
 		t.Error("nil tracer still scheduled sampler events")
 	}
 }
+
+// Flow events render as Perfetto 's'/'f' pairs sharing a correlation id,
+// with the terminating end carrying the enclosing-slice binding point.
+func TestTracerFlowEvents(t *testing.T) {
+	tr := NewTracer()
+	tr.FlowStart(0, 0, "mpi", "msg", 1*sim.Microsecond, 0xbeef)
+	tr.FlowEnd(1, 0, "mpi", "msg", 2*sim.Microsecond, 0xbeef)
+	var b bytes.Buffer
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(b.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0]["ph"] != "s" || events[1]["ph"] != "f" {
+		t.Errorf("phases = %v, %v; want s, f", events[0]["ph"], events[1]["ph"])
+	}
+	if events[0]["id"] != events[1]["id"] {
+		t.Errorf("flow ids differ: %v vs %v", events[0]["id"], events[1]["id"])
+	}
+	if events[1]["bp"] != "e" {
+		t.Error("flow end missing bp=e binding (arrows land mid-span)")
+	}
+	if _, ok := events[0]["bp"]; ok {
+		t.Error("flow start must not carry a binding point")
+	}
+}
+
+// A flight ring must not record flows: a ring that overwrote one arrow
+// end would render dangling flows, and the post-mortem dump consumers
+// assert the plain {M, X, i, C} event alphabet.
+func TestFlightRecorderSkipsFlows(t *testing.T) {
+	tr := NewFlightRecorder(8)
+	tr.FlowStart(0, 0, "mpi", "msg", 0, 1)
+	tr.FlowEnd(0, 0, "mpi", "msg", 1, 1)
+	tr.Instant(0, 0, "c", "e", 2)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (flows must be skipped in flight mode)", tr.Len())
+	}
+}

@@ -98,9 +98,27 @@ func (h *Histogram) String() string {
 		return "(empty)"
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "n=%d mean=%.1f max=%d p50<=%d p99<=%d",
-		h.n, h.Mean(), h.max, h.Percentile(0.5), h.Percentile(0.99))
+	fmt.Fprintf(&b, "n=%d mean=%.1f max=%d p50<=%d p95<=%d p99<=%d",
+		h.n, h.Mean(), h.max, h.Percentile(0.5), h.Percentile(0.95), h.Percentile(0.99))
 	return b.String()
+}
+
+// Quantile is one summary quantile estimate: the P-quantile of the
+// observations lies at or below Value (a bucket upper bound).
+type Quantile struct {
+	P     float64
+	Value int
+}
+
+// SummaryQuantiles returns the conventional summary quantile set
+// (p50/p95/p99) estimated from the fixed buckets — the shape Prometheus
+// summary metrics expose under a quantile label.
+func (h *Histogram) SummaryQuantiles() []Quantile {
+	return []Quantile{
+		{0.5, h.Percentile(0.5)},
+		{0.95, h.Percentile(0.95)},
+		{0.99, h.Percentile(0.99)},
+	}
 }
 
 // Buckets returns (label, count) pairs for non-empty buckets.

@@ -194,3 +194,30 @@ func TestHistogramMerge(t *testing.T) {
 		t.Error("merging an empty histogram changed the receiver")
 	}
 }
+
+// The report string carries the summary quantiles, and SummaryQuantiles
+// exposes the same estimates as the conventional p50/p95/p99 set.
+func TestHistogramSummaryQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Add(i)
+	}
+	qs := h.SummaryQuantiles()
+	if len(qs) != 3 || qs[0].P != 0.5 || qs[1].P != 0.95 || qs[2].P != 0.99 {
+		t.Fatalf("SummaryQuantiles = %+v, want p50/p95/p99", qs)
+	}
+	for i, q := range qs {
+		if q.Value != h.Percentile(q.P) {
+			t.Errorf("quantile %v value %d != Percentile %d", q.P, q.Value, h.Percentile(q.P))
+		}
+		if i > 0 && q.Value < qs[i-1].Value {
+			t.Errorf("quantiles not monotone: %+v", qs)
+		}
+	}
+	s := h.String()
+	for _, want := range []string{"p50<=", "p95<=", "p99<="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() %q missing %s", s, want)
+		}
+	}
+}

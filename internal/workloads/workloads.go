@@ -36,6 +36,13 @@ func WithWatchdog(limit sim.Time) Option {
 	return func(cfg *mpi.Config) { cfg.WatchdogLimit = limit }
 }
 
+// WithFlightEvents sizes the flight-recorder ring per world (events
+// kept for the post-mortem dump on watchdog expiry); 0 keeps the
+// default when a watchdog is armed, n < 0 disables the recorder.
+func WithFlightEvents(n int) Option {
+	return func(cfg *mpi.Config) { cfg.FlightEvents = n }
+}
+
 // WithTelemetry runs the workload against an externally owned metrics
 // registry (one per world — see telemetry.Registry).
 func WithTelemetry(reg *telemetry.Registry) Option {
