@@ -24,6 +24,14 @@
 //	               whose ALPUs flip bits, drop results, stall or die and
 //	               whose firmware crashes, every scenario digest-verified
 //	               against a clean software-only run of the same plan
+//	tenancy        the heavy-tenancy matching sweep: Zipf-skewed traffic
+//	               over many communicators driven through the software
+//	               list, a single ALPU, and the sharded matching fabric
+//	               at 2/4/8 units — digest-verified rows with dispatch
+//	               cache hit rate, per-shard occupancy, overflow churn
+//	               and match-latency quantiles; -shards N instead dumps
+//	               that one configuration's receive outcomes line by
+//	               line (the CI byte-diff format)
 //	bench          wall-clock harness: times every figure sweep at -jobs 1
 //	               and -jobs N and appends a timestamped record with the
 //	               speedups and micro-benchmarks to BENCH.json
@@ -116,6 +124,7 @@ var (
 	logPath    = flag.String("log", "", "write structured diagnostics (slog text, simulated-time stamped) to this file (\"-\" = stderr)")
 	flightDump = flag.String("flightdump", "flight.json", "stall experiment: write the flight-recorder dump (Perfetto-loadable trace JSON) here on watchdog expiry")
 	flightSize = flag.Int("flightsize", 0, "flight-recorder ring capacity in events (0 = default when a watchdog is armed; < 0 disables the recorder)")
+	shards     = flag.Int("shards", 0, "tenancy experiment: dump the receive outcomes of this one fabric width instead of the full sweep (1 = single-ALPU baseline)")
 )
 
 // diagLog is the process's structured diagnostic logger (nil without
@@ -204,6 +213,8 @@ func main() {
 		chaosExp()
 	case "devchaos":
 		devchaosExp()
+	case "tenancy":
+		tenancyExp()
 	case "bench":
 		benchHarness()
 	case "scale":
@@ -895,6 +906,36 @@ func devchaosExp() {
 		NIC: bench.NICConfig(bench.ALPU128), Seed: *faultSeed,
 		Scenarios: scenarios, Jobs: *jobs, Partitions: *par,
 	}))
+	fmt.Println()
+}
+
+// tenancyCfg shapes the heavy-tenancy sweep from the shared flags:
+// -quick shrinks the plan, -seed steers the Zipf schedule, and -par
+// exercises the determinism claim across partitioned engines.
+func tenancyCfg() bench.TenancyBenchConfig {
+	cfg := bench.TenancyBenchConfig{Seed: *faultSeed, Jobs: *jobs, Partitions: *par}
+	if *quick {
+		cfg.Comms = 6
+		cfg.Msgs = 512
+	}
+	return cfg
+}
+
+// tenancyExp runs the heavy-tenancy matching sweep behind the sharded
+// fabric: software list vs single ALPU vs 2/4/8-shard fabric over the
+// identical Zipf plan, every row digest-verified. With -shards N it
+// instead dumps that one configuration's receive outcomes — the format
+// the determinism CI byte-diffs across shard counts and -par settings.
+func tenancyExp() {
+	obsLabel("tenancy")
+	cfg := tenancyCfg()
+	if *shards > 0 {
+		p, rep := bench.TenancyOutcomes(cfg, *shards)
+		bench.WriteTenancyOutcomes(os.Stdout, p, rep)
+		return
+	}
+	fmt.Printf("Heavy tenancy: Zipf-skewed multi-communicator matching, seed %d\n", *faultSeed)
+	bench.RenderTenancy(os.Stdout, bench.RunTenancy(cfg))
 	fmt.Println()
 }
 

@@ -4,12 +4,17 @@
 // deep the MPI queues grow, where matches land in them, and what the
 // ALPU does to traversal work and completion time.
 //
-//	queuestudy [-ranks 4,8,16] [-workload all|halo|master|storm|sweep|irregular] [-cells 128] [-jobs N]
-//	           [-par N] [-faults drop=0.01,corrupt=0.01] [-seed N] [-breakdown] [-trace FILE] [-metrics FILE]
+//	queuestudy [-ranks 4,8,16] [-workload all|halo|master|storm|sweep|irregular] [-cells 128] [-shards N]
+//	           [-jobs N] [-par N] [-faults drop=0.01,corrupt=0.01] [-seed N] [-breakdown] [-trace FILE] [-metrics FILE]
 //
 // With -faults every study runs over a faulty network with the NIC
 // reliability protocol recovering; a second table reports what the
 // recovery cost. The same -seed reproduces the identical run.
+//
+// -shards N runs the accelerated configurations on the sharded matching
+// fabric (N ALPU instances per posted queue, see alpusim -help) and adds
+// a per-shard occupancy/overflow table. Matching outcomes are identical
+// to the single-ALPU runs; only the cost model moves.
 //
 // Telemetry: -breakdown adds a per-study table of mean per-message
 // latency phases; -trace FILE writes a Chrome trace-event JSON of every
@@ -47,6 +52,7 @@ var (
 	ranksFlag  = flag.String("ranks", "4,8,16", "comma-separated process counts")
 	workload   = flag.String("workload", "all", "halo, master, storm, sweep, irregular, or all")
 	cells      = flag.Int("cells", 128, "ALPU cells for the accelerated runs")
+	shardsFlag = flag.Int("shards", 0, "matching-fabric shards for the accelerated runs (0/1 = single ALPU); adds a per-shard occupancy table")
 	jobsFlag   = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation worlds (1 = sequential)")
 	parFlag    = flag.Int("par", 0, "partitions per study world: conservative parallel simulation (0 = serial engine; output identical for any value >= 1)")
 	faultSpec  = flag.String("faults", "", "fault model: a probability or class=prob pairs (see alpusim -help)")
@@ -185,7 +191,11 @@ func main() {
 			r, n := r, n
 			studies = append(studies, study{name: r.name, ranks: n})
 			addRun(nic.Config{}, n, r)
-			addRun(nic.Config{UseALPU: true, Cells: *cells}, n, r)
+			accel := nic.Config{UseALPU: true, Cells: *cells}
+			if *shardsFlag > 1 {
+				accel.MatchShards = *shardsFlag
+			}
+			addRun(accel, n, r)
 		}
 	}
 	reports := sweep.Map(*jobsFlag, len(runs), func(i int) workloads.Report { return runs[i]() })
@@ -212,6 +222,39 @@ func main() {
 	}
 	tb.Render(os.Stdout)
 	fmt.Println()
+	if *shardsFlag > 1 {
+		// Per-shard fabric view of every accelerated run: how evenly the
+		// dispatch hash spread each study's posted traffic, how much of it
+		// sat in software overflow, and the hot-entry cache's hit rate.
+		// Peaks are folded across the world's NICs by maximum, counters by
+		// sum, matching Snapshot.Merge semantics.
+		ft := stats.NewTable("workload", "ranks", "shard",
+			"peak len", "promotions", "demotions", "cache hit%")
+		for _, s := range studies {
+			snap := s.accel.Telemetry
+			hitCol := "·"
+			if total := snap.Sum("fabric/cache_hits") + snap.Sum("fabric/cache_misses"); total > 0 {
+				hitCol = fmt.Sprintf("%.1f", 100*float64(snap.Sum("fabric/cache_hits"))/float64(total))
+			}
+			for sh := 0; sh < *shardsFlag; sh++ {
+				sp := fmt.Sprintf("fabric/shard%d", sh)
+				peak := int64(0)
+				for name, g := range snap.Gauges {
+					if strings.HasSuffix(name, sp+"/peak_len") && g > peak {
+						peak = g
+					}
+				}
+				cacheCell := "·"
+				if sh == 0 {
+					cacheCell = hitCol
+				}
+				ft.AddRow(s.name, s.ranks, sh, peak,
+					snap.Sum(sp+"/promotions"), snap.Sum(sp+"/demotions"), cacheCell)
+			}
+		}
+		ft.Render(os.Stdout)
+		fmt.Println()
+	}
 	if fm != nil {
 		// The recovery table: what the injected faults cost each study
 		// (base + ALPU runs summed). Completion at all is the correctness

@@ -90,6 +90,17 @@ const (
 	OpStopInsert
 	// OpReset clears all entries.
 	OpReset
+	// OpInvalidate clears the entry carrying the given tag, if present,
+	// without shifting its neighbours (the cell is scrubbed in place and
+	// the hole compacts lazily like a quarantined cell). The fabric uses
+	// it to retire the extra copies of a wildcard receive broadcast to
+	// every shard once one shard has matched it. No response is emitted;
+	// an absent tag is a no-op, since the copy may already have been
+	// consumed by a match racing ahead of the invalidate in the FIFO.
+	// Unlike RESET, it is honoured in insert mode as well, so it is never
+	// discarded: once pushed, the cell is guaranteed cleared before any
+	// subsequently pushed probe is matched.
+	OpInvalidate
 )
 
 func (o Opcode) String() string {
@@ -102,6 +113,8 @@ func (o Opcode) String() string {
 		return "STOP INSERT"
 	case OpReset:
 		return "RESET"
+	case OpInvalidate:
+		return "INVALIDATE"
 	default:
 		return fmt.Sprintf("Opcode(%d)", int(o))
 	}

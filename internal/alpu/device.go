@@ -95,6 +95,7 @@ type Stats struct {
 	Inserts      uint64 // entries written
 	LostInserts  uint64 // inserts arriving with no free cell (protocol violation)
 	Resets       uint64
+	Invalidates  uint64 // INVALIDATE commands that found and cleared a cell
 	Discarded    uint64 // commands discarded in the wrong state (§III-C)
 	StartInserts uint64
 	MaxOccupancy int
@@ -296,6 +297,7 @@ func (d *Device) Publish(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix + "/inserts").Set(s.Inserts)
 	reg.Counter(prefix + "/lost_inserts").Set(s.LostInserts)
 	reg.Counter(prefix + "/resets").Set(s.Resets)
+	reg.Counter(prefix + "/invalidates").Set(s.Invalidates)
 	reg.Counter(prefix + "/discarded").Set(s.Discarded)
 	reg.Counter(prefix + "/start_inserts").Set(s.StartInserts)
 	reg.Counter(prefix + "/shift_cycles").Set(s.ShiftCycles)
@@ -399,6 +401,8 @@ func (d *Device) run(p *sim.Process) {
 				d.reset()
 			case OpStartInsert:
 				d.insertLoop(p)
+			case OpInvalidate:
+				d.invalidate(c.Tag)
 			default:
 				d.stats.Discarded++
 			}
@@ -661,6 +665,13 @@ func (d *Device) insertLoop(p *sim.Process) {
 					d.doMatch(p, probe, false)
 				}
 				return
+			case OpInvalidate:
+				// Honored in insert mode too: commands stay strictly FIFO
+				// and always precede header processing, so a probe pushed
+				// after an INVALIDATE can never observe the cleared cell.
+				// A discarded invalidate would leave a purged wildcard copy
+				// resident, silently skewing the firmware's mirror.
+				d.invalidate(c.Tag)
 			default:
 				// START INSERT while inserting, or RESET mid-insert: the
 				// prototype discards these (§III-C).
@@ -795,6 +806,26 @@ func (d *Device) deleteAt(idx int) {
 			sv = sv&low | v&^low
 		}
 		d.valid[w] = sv
+	}
+}
+
+// invalidate clears the cell holding tag, if any, leaving a hole that
+// compacts lazily exactly like a quarantined cell (§III-B). The tag
+// lookup is associative, so the command costs only its Read Command
+// cycle. No response is emitted: an absent tag means a match raced ahead
+// of the invalidate in the FIFOs and already consumed the copy.
+func (d *Device) invalidate(tag uint32) {
+	for i := range d.cells {
+		c := &d.cells[i]
+		if !c.valid || c.tag != tag {
+			continue
+		}
+		*c = cell{}
+		if d.valid != nil {
+			d.valid[i/64] &^= 1 << uint(i%64)
+		}
+		d.stats.Invalidates++
+		return
 	}
 }
 

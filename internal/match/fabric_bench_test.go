@@ -1,0 +1,38 @@
+package match
+
+import "testing"
+
+// BenchmarkFabricDispatch measures the pure shard-routing hash: the cost
+// every posted receive and every incoming probe pays before touching a
+// shard. Keys cycle through a dense (ctx, src) population, the realistic
+// heavy-tenancy shape.
+func BenchmarkFabricDispatch(b *testing.B) {
+	keys := make([]Bits, 256)
+	for i := range keys {
+		keys[i] = Pack(Header{Context: uint16(i % 16), Source: int32(i / 16), Tag: int32(i)})
+	}
+	var sink int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += ShardOf(keys[i%len(keys)], 4)
+	}
+	_ = sink
+}
+
+// BenchmarkFabricOverflowPromote measures the overflow churn primitive:
+// removing the oldest overflow entry from a HashList (promotion into ALPU
+// cells) and re-inserting it with its Seq preserved (demotion on resync).
+func BenchmarkFabricOverflowPromote(b *testing.B) {
+	h := NewHashList()
+	entries := make([]*Entry, 1024)
+	for i := range entries {
+		entries[i] = &Entry{Bits: Pack(Header{Context: uint16(i % 32), Source: int32(i % 64), Tag: int32(i)}), Mask: FullMask}
+		h.Append(entries[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := entries[i%len(entries)]
+		h.Remove(e)
+		h.InsertOrdered(e)
+	}
+}

@@ -1,5 +1,7 @@
 package match
 
+import "sort"
+
 // HashList is the hash-table queue organisation the paper's §II discusses
 // and rejects: search cost drops for exact-match traffic, but insertion
 // cost rises (hash + bucket maintenance + ordering bookkeeping), wildcards
@@ -95,6 +97,63 @@ func (h *HashList) FindFirst(probeBits, probeMask Bits) *Entry {
 	default:
 		return bucketBest
 	}
+}
+
+// InsertOrdered inserts e preserving its existing Seq stamp, keeping the
+// bucket (or the wildcard side list) in ascending-Seq order. Append stamps
+// a fresh sequence number and so may only grow the tail; shard overflow
+// demotion and failover rebuild re-insert entries that already carry their
+// posting-order stamp — possibly older than entries already present.
+func (h *HashList) InsertOrdered(e *Entry) {
+	h.size++
+	h.InsertSteps += 3
+	if e.Seq > h.seq {
+		h.seq = e.Seq
+	}
+	if e.Mask != FullMask {
+		h.wild = insertBySeq(h.wild, e)
+		return
+	}
+	h.buckets[e.Bits] = insertBySeq(h.buckets[e.Bits], e)
+}
+
+// insertBySeq places e into s keeping ascending Seq. The scan runs from
+// the tail: the common case (promotion churn re-adding the newest demoted
+// entry) appends, while a demoted old entry walks to the front.
+func insertBySeq(s []*Entry, e *Entry) []*Entry {
+	i := len(s)
+	for i > 0 && s[i-1].Seq > e.Seq {
+		i--
+	}
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = e
+	return s
+}
+
+// Ordered returns every queued entry in posting (Seq) order. The bucket
+// map iterates in random order, so the collected slice is explicitly
+// sorted — callers that rebuild another structure from a HashList (shard
+// failover, overflow demotion) must use this, never a raw map walk, or
+// the rebuilt order varies run to run.
+func (h *HashList) Ordered() []*Entry {
+	out := make([]*Entry, 0, h.size)
+	for _, b := range h.buckets {
+		out = append(out, b...)
+	}
+	out = append(out, h.wild...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Drain returns every entry in posting order and empties the queue. The
+// cost-accounting counters survive: a drain is bookkeeping, not matching.
+func (h *HashList) Drain() []*Entry {
+	out := h.Ordered()
+	h.buckets = make(map[Bits][]*Entry)
+	h.wild = nil
+	h.size = 0
+	return out
 }
 
 // Remove deletes e from whichever structure holds it.

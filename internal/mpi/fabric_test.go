@@ -1,0 +1,165 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"alpusim/internal/alpu"
+	"alpusim/internal/network"
+	"alpusim/internal/sim"
+)
+
+// The sharded-matching-fabric property suite. The fabric replaces the
+// single posted-receive ALPU with N instances plus per-shard software
+// overflow and a dispatch cache, and its one contract is the repo-wide
+// invariant: matching outcomes are byte-identical to the plain software
+// list for any shard count, under wildcards, overflow churn, device
+// faults and partitioning. These tests pin that contract against the
+// soak-plan oracle of soak_test.go.
+
+// fabricCfg is alpuCfg on the sharded fabric. Tiny cells keep every
+// shard's device overflowing, so promotion churn is constant.
+func fabricCfg(ranks, cells, shards int) Config {
+	cfg := alpuCfg(ranks, cells)
+	cfg.NIC.MatchShards = shards
+	return cfg
+}
+
+// TestFabricSoakMatchesSoftwareOracle drives identical random traffic —
+// wildcard receives included — through the software list and through
+// fabrics of 2, 4 and 8 shards with overflow-forcing cell counts, and
+// requires the matching digest to agree everywhere.
+func TestFabricSoakMatchesSoftwareOracle(t *testing.T) {
+	const ranks = 5
+	msgs := 60
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		plan := buildSoakPlan(rand.New(rand.NewSource(seed)), ranks, msgs)
+		oracle, _ := soakMatchDigest(t, fmt.Sprintf("sw/seed%d", seed), baseCfg(ranks), plan, ranks)
+		for _, shards := range []int{2, 4, 8} {
+			// cells=16 (the device's minimum block) keeps each shard
+			// overflowing (promotion churn); cells=64 covers the
+			// all-resident regime.
+			for _, cells := range []int{16, 64} {
+				label := fmt.Sprintf("fabric%d/cells%d/seed%d", shards, cells, seed)
+				got, w := soakMatchDigest(t, label, fabricCfg(ranks, cells, shards), plan, ranks)
+				if got != oracle {
+					t.Errorf("%s: matching digest %#x != software oracle %#x", label, got, oracle)
+				}
+				snap := w.TelemetrySnapshot()
+				if snap.Sum("fabric/wild_broadcasts") == 0 {
+					t.Errorf("%s: no wildcard was ever broadcast across the shards", label)
+				}
+				if cells == 16 && snap.Sum("fabric/overflow_promotions") == 0 {
+					t.Errorf("%s: tiny cells but no overflow promotion happened", label)
+				}
+			}
+		}
+	}
+}
+
+// TestFabricDevChaosMatchesOracle corrupts, stalls and kills the shard
+// devices mid-soak: the fabric must still produce the clean software
+// oracle's digest, riding the strike/resync/failover ladder per shard.
+func TestFabricDevChaosMatchesOracle(t *testing.T) {
+	const ranks = 4
+	plan := buildSoakPlan(rand.New(rand.NewSource(11)), ranks, 48)
+	oracle, _ := soakMatchDigest(t, "sw/clean", baseCfg(ranks), plan, ranks)
+	fm := network.FaultModel{
+		Seed:            42,
+		ALPUBitFlipProb: 0.02, ALPUResultDropProb: 0.03,
+		ALPUDeathAt: 60 * sim.Microsecond,
+	}
+	cfg := fabricCfg(ranks, 16, 4)
+	cfg.NIC.FaultResultTimeout = 1 * sim.Microsecond
+	cfg.NIC.FaultRetryBase = 4 * sim.Microsecond
+	cfg.Faults = &fm
+	cfg.WatchdogLimit = chaosWatchdog
+	got, w := soakMatchDigest(t, "fabric/devchaos", cfg, plan, ranks)
+	if got != oracle {
+		t.Fatalf("fabric under device chaos: digest %#x != clean software %#x", got, oracle)
+	}
+	snap := w.TelemetrySnapshot()
+	injected := snap.Sum("alpu_faults/bit_flips") + snap.Sum("alpu_faults/dropped_results") +
+		snap.Sum("alpu_faults/dead_discards")
+	if injected == 0 {
+		t.Error("fault injection idle: the chaos run exercised nothing")
+	}
+}
+
+// TestFabricOneShardDeathFailsOverAlone kills exactly one shard's device
+// (Config.ShardFaults) and requires a surgical failover: the dead shard
+// serves matching from its hash shadow, every sibling shard keeps its
+// device, and the matching digest still equals the software oracle.
+func TestFabricOneShardDeathFailsOverAlone(t *testing.T) {
+	const ranks, shards, victim = 4, 4, 2
+	plan := buildSoakPlan(rand.New(rand.NewSource(13)), ranks, 96)
+	oracle, _ := soakMatchDigest(t, "sw/clean", baseCfg(ranks), plan, ranks)
+	cfg := fabricCfg(ranks, 16, shards)
+	cfg.NIC.ShardFaults = make([]*alpu.FaultModel, shards)
+	cfg.NIC.ShardFaults[victim] = &alpu.FaultModel{DeathAt: 20 * sim.Microsecond}
+	// Tight policy so the death is declared well inside the run.
+	cfg.NIC.FaultStrikeLimit = 2
+	cfg.NIC.FaultResultTimeout = 1 * sim.Microsecond
+	cfg.NIC.FaultRetryBase = 4 * sim.Microsecond
+	cfg.WatchdogLimit = chaosWatchdog
+	got, w := soakMatchDigest(t, "fabric/sharddeath", cfg, plan, ranks)
+	if got != oracle {
+		t.Fatalf("one-shard death: digest %#x != software oracle %#x", got, oracle)
+	}
+	deaths := 0
+	for i := range w.NICs {
+		for s := 0; s < shards; s++ {
+			name := fmt.Sprintf("posted%d", s)
+			if w.NICs[i].ALPUDead(name) {
+				if s != victim {
+					t.Errorf("nic%d: healthy shard %s was declared dead", i, name)
+				}
+				deaths++
+			}
+		}
+		if w.NICs[i].ALPUDead("unexp") {
+			t.Errorf("nic%d: unexpected-queue unit died; only shard %d had a fault model", i, victim)
+		}
+	}
+	if deaths == 0 {
+		t.Error("the faulted shard never failed over on any NIC")
+	}
+	snap := w.TelemetrySnapshot()
+	if snap.Sum("nic_failover/deaths") == 0 || snap.Sum("nic_failover/shadow_rebuilds") == 0 {
+		t.Error("failover counters idle despite a shard death")
+	}
+}
+
+// TestFabricPartitionInvariant pins the PDES contract for the fabric: the
+// same plan must produce a byte-identical matching digest and identical
+// fabric telemetry at every partition count.
+func TestFabricPartitionInvariant(t *testing.T) {
+	const ranks = 8
+	plan := buildSoakPlan(rand.New(rand.NewSource(29)), ranks, 64)
+	type result struct {
+		digest uint64
+		rollup [3]uint64
+	}
+	run := func(parts int) result {
+		cfg := fabricCfg(ranks, 16, 4)
+		cfg.Partitions = parts
+		digest, w := soakMatchDigest(t, "", cfg, plan, ranks)
+		snap := w.TelemetrySnapshot()
+		return result{digest, [3]uint64{
+			snap.Sum("fabric/wild_broadcasts"),
+			snap.Sum("fabric/overflow_promotions"),
+			snap.Sum("fabric/cache_misses"),
+		}}
+	}
+	r1 := run(1)
+	for _, parts := range []int{2, 8} {
+		if r := run(parts); r != r1 {
+			t.Errorf("partitions=%d diverged from partitions=1:\n %+v\n %+v", parts, r, r1)
+		}
+	}
+}

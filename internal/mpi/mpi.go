@@ -161,6 +161,24 @@ type World struct {
 	// devFaults records that device-level fault classes were configured,
 	// gating the world-level alpu_faults/nic_failover telemetry rollups.
 	devFaults bool
+	// matchShards mirrors Config.NIC.MatchShards, gating the world-level
+	// match_fabric telemetry rollups.
+	matchShards int
+}
+
+// nicDeviceFaults reports whether the NIC config itself carries device
+// fault models (beyond the world fault model): the per-unit override or
+// any per-shard override.
+func nicDeviceFaults(nc nic.Config) bool {
+	if nc.ALPUFaults.Active() {
+		return true
+	}
+	for _, f := range nc.ShardFaults {
+		if f.Active() {
+			return true
+		}
+	}
+	return false
 }
 
 // applyDeviceFaults maps the device-level classes of the world fault
@@ -224,18 +242,19 @@ func NewWorld(cfg Config) *World {
 		}
 	}
 	w := &World{
-		Eng:        eng,
-		Net:        net,
-		Tel:        reg,
-		Tracer:     cfg.Tracer,
-		Phases:     cfg.Phases,
-		Flight:     rec,
-		log:        telemetry.SimLogger(cfg.Log, eng.Now),
-		flightPath: cfg.FlightDumpPath,
-		devFaults:  cfg.Faults.DeviceActive(),
-		nextCtx:    worldContext,
-		ctxTable:   make(map[string]uint16),
-		boards:     make(map[string][]any),
+		Eng:         eng,
+		Net:         net,
+		Tel:         reg,
+		Tracer:      cfg.Tracer,
+		Phases:      cfg.Phases,
+		Flight:      rec,
+		log:         telemetry.SimLogger(cfg.Log, eng.Now),
+		flightPath:  cfg.FlightDumpPath,
+		devFaults:   cfg.Faults.DeviceActive() || nicDeviceFaults(cfg.NIC),
+		matchShards: cfg.NIC.MatchShards,
+		nextCtx:     worldContext,
+		ctxTable:    make(map[string]uint16),
+		boards:      make(map[string][]any),
 	}
 	if cfg.Phases != nil {
 		net.SetPhases(cfg.Phases)
@@ -374,7 +393,8 @@ func newPartitionedWorld(cfg Config) *World {
 		causalShards: causalShards,
 		log:          telemetry.SimLogger(cfg.Log, engines[0].Now),
 		flightPath:   cfg.FlightDumpPath,
-		devFaults:    cfg.Faults.DeviceActive(),
+		devFaults:    cfg.Faults.DeviceActive() || nicDeviceFaults(cfg.NIC),
+		matchShards:  cfg.NIC.MatchShards,
 		nextCtx:      worldContext,
 		ctxTable:     make(map[string]uint16),
 		boards:       make(map[string][]any),
@@ -629,6 +649,10 @@ func (w *World) TelemetrySnapshot() telemetry.Snapshot {
 				for _, q := range []string{"posted", "unexp"} {
 					t += w.Tel.Counter(fmt.Sprintf("nic%d/alpu/%s/faults/%s", i, q, name)).Get()
 				}
+				// Fabric shard units publish per shard.
+				for s := 0; s < w.matchShards; s++ {
+					t += w.Tel.Counter(fmt.Sprintf("nic%d/alpu/posted%d/faults/%s", i, s, name)).Get()
+				}
 			}
 			return
 		}
@@ -637,6 +661,23 @@ func (w *World) TelemetrySnapshot() telemetry.Snapshot {
 			"stuck_cycles", "dead_discards",
 		} {
 			w.Tel.Counter("alpu_faults/" + name).Set(devSum(name))
+		}
+	}
+	if w.matchShards > 1 {
+		// World-level rollups of the matching-fabric counters: these
+		// become the alpusim_match_fabric_* Prometheus families on the
+		// /metrics endpoint.
+		fabSum := func(name string) (t uint64) {
+			for i := range w.NICs {
+				t += w.Tel.Counter(fmt.Sprintf("nic%d/fabric/%s", i, name)).Get()
+			}
+			return
+		}
+		for _, name := range []string{
+			"cache_hits", "cache_misses", "wild_broadcasts", "wild_purges",
+			"stale_wild_hits", "overflow_promotions", "overflow_demotions",
+		} {
+			w.Tel.Counter("match_fabric/" + name).Set(fabSum(name))
 		}
 	}
 	return w.Tel.Snapshot()

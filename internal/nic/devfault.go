@@ -78,7 +78,15 @@ func (r *fwRand) chance(p float64) bool {
 // the gate for response timeouts and the recovery machinery. Fault-free
 // worlds take exactly the pre-existing code paths.
 func (n *NIC) devFaultsOn() bool {
-	return n.cfg.ALPUFaults.Active() || n.cfg.FwCrashProb > 0
+	if n.cfg.ALPUFaults.Active() || n.cfg.FwCrashProb > 0 {
+		return true
+	}
+	for _, f := range n.cfg.ShardFaults {
+		if f.Active() {
+			return true
+		}
+	}
+	return false
 }
 
 func (n *NIC) strikeLimit() int {
@@ -168,7 +176,7 @@ func (n *NIC) maintainDevices(e *proc.Engine) {
 	if !n.cfg.UseALPU || !n.devFaultsOn() {
 		return
 	}
-	for _, q := range []*mirrorQueue{&n.posted, &n.unexp} {
+	for _, q := range n.alpuQueues {
 		if q.needResync {
 			n.repairALPU(e, q)
 		}
@@ -255,6 +263,23 @@ func (n *NIC) resyncALPU(e *proc.Engine, q *mirrorQueue) {
 	for t := range q.tags {
 		delete(q.tags, t)
 	}
+	if q.over != nil {
+		// Fabric shard: with the pointer returning to zero the whole list
+		// becomes the unloaded suffix, so the formerly mirrored prefix
+		// demotes back into the overflow hash, keeping over == list[0:]
+		// exact. The quiesce above guarantees no old-era response can
+		// surface, so the stale quarantine empties with the tag table.
+		for i := 0; i < q.inALPU && i < q.list.Len(); i++ {
+			entry := q.list.At(i)
+			q.over.InsertOrdered(entry)
+			q.demotions++
+			e.Cycles(4)
+			e.Store(hashBucketAddr(entry.Bits), 8)
+		}
+		for t := range q.stale {
+			delete(q.stale, t)
+		}
+	}
 	q.inALPU = 0
 }
 
@@ -313,6 +338,15 @@ func (n *NIC) failoverALPU(e *proc.Engine, q *mirrorQueue) {
 		delete(q.tags, t)
 	}
 	q.inALPU = 0
+	if q.over != nil {
+		// Fabric shard: the hash shadow built below takes over as the only
+		// live structure; the overflow mirror and stale quarantine retire
+		// with the device.
+		q.over = nil
+		for t := range q.stale {
+			delete(q.stale, t)
+		}
+	}
 	n.failCounter("deaths")
 	n.failCounter("shadow_rebuilds")
 	if n.cfg.Log != nil {
@@ -374,10 +408,9 @@ func (n *NIC) recoverFirmware() {
 	if !n.cfg.UseALPU {
 		return
 	}
-	if !n.posted.alpuDead && n.posted.engaged {
-		n.posted.needResync = true
-	}
-	if !n.unexp.alpuDead && n.unexp.engaged {
-		n.unexp.needResync = true
+	for _, q := range n.alpuQueues {
+		if !q.alpuDead && q.engaged {
+			q.needResync = true
+		}
 	}
 }

@@ -41,6 +41,9 @@ func (n *NIC) fwSession(p *sim.Process) (crashed bool) {
 	e := proc.New(p, n.cpu, n.mem)
 	for {
 		n.maintainDevices(e)
+		if n.fab != nil {
+			n.fabricMaintain()
+		}
 		if n.crashRng != nil && (n.ep.RxQ.Len() > 0 || n.HostQ.Len() > 0) {
 			n.maybeCrash()
 		}
@@ -92,15 +95,16 @@ func (n *NIC) handlePacket(e *proc.Engine, pkt network.Packet) {
 		}
 		e.Cycles(params.HeaderProcessCycles)
 		searchT0, faults0 := e.Now(), n.faultEvents
-		entry := n.matchPosted(e, pkt)
-		n.annotateFaultSearch(&n.posted, key, searchT0, faults0, e.Now())
+		entry, mq := n.matchPosted(e, pkt)
+		n.annotateFaultSearch(mq, key, searchT0, faults0, e.Now())
+		n.matchLat.Add(int((e.Now() - searchT0) / (64 * sim.Nanosecond)))
 		if entry != nil {
 			n.stats.PostedMatches++
 			if n.phases != nil {
 				n.phases.Stamp(key, telemetry.StampMatch, e.Now())
 			}
 			n.causal.Stamp(key, telemetry.StampMatch, e.Now())
-			pr := entry.Req.(*postedRecv)
+			pr := n.fabricResolve(e, entry)
 			n.entryAlloc.put(entry.Addr)
 			n.deliverMatched(e, pkt, pr)
 			return
@@ -233,7 +237,11 @@ func (n *NIC) handleHostReq(e *proc.Engine, req HostRequest) {
 		if entry == nil {
 			pr := &postedRecv{req: req}
 			b, m := match.PackRecv(req.Recv)
-			n.appendEntry(e, &n.posted, b, m, pr)
+			if n.fab != nil {
+				n.fabricPost(e, b, m, pr)
+			} else {
+				n.appendEntry(e, &n.posted, b, m, pr)
+			}
 			return
 		}
 		n.stats.UnexpMatches++
@@ -263,41 +271,60 @@ func (n *NIC) handleHostReq(e *proc.Engine, req HostRequest) {
 }
 
 // matchPosted finds and removes the posted receive matching an incoming
-// header, or returns nil (-> unexpected).
-func (n *NIC) matchPosted(e *proc.Engine, pkt network.Packet) *match.Entry {
+// header, or returns nil (-> unexpected), along with the queue it was
+// resolved against (the owner shard under the fabric).
+func (n *NIC) matchPosted(e *proc.Engine, pkt network.Packet) (*match.Entry, *mirrorQueue) {
 	probe := match.Pack(pkt.Hdr)
-	if n.posted.engaged {
+	q := &n.posted
+	if n.fab != nil {
+		// Every candidate for this header — its (context, source) exact
+		// receives and one copy of every wildcard — lives in the owner
+		// shard, in posting order, so the shard search is the whole search.
+		q = n.dispatchShard(e, probe)
+	}
+	if q.engaged {
 		// A packet can slip past the engagement point unprobed (it was
 		// already queued when the firmware engaged the unit mid-loop);
 		// the firmware then injects the probe itself over the bus.
-		if !n.posted.probed[pkt.Seq] {
+		if !q.probed[pkt.Seq] {
 			e.BusTransaction(params.ALPUCommandCycles)
-			n.posted.dev.PushProbe(alpu.Probe{Bits: probe, Meta: pkt.Seq})
-			n.posted.probed[pkt.Seq] = true
+			q.dev.PushProbe(alpu.Probe{Bits: probe, Meta: pkt.Seq})
+			q.probed[pkt.Seq] = true
 		}
-		r, from, ok := n.resultFor(e, &n.posted, pkt.Seq)
+		r, from, ok := n.resultFor(e, q, pkt.Seq)
 		if !ok {
 			// The device never answered: strike, repair (resync or failover),
 			// and resolve this match entirely in software.
-			n.deviceFault(e, &n.posted, "result-timeout",
+			n.deviceFault(e, q, "result-timeout",
 				fmt.Sprintf("no response for packet seq %d", pkt.Seq))
-			return n.softwareMatch(e, &n.posted, probe, match.FullMask)
+			return n.softwareMatch(e, q, probe, match.FullMask), q
 		}
 		if r.Kind == alpu.RespMatchSuccess {
+			if q.stale[r.Tag] {
+				// The success was generated before an INVALIDATE for this tag
+				// was processed: the device consumed a purged wildcard copy.
+				// The cell is gone either way (the pending INVALIDATE finds
+				// nothing and no-ops); resolve the probe against the list,
+				// which no longer holds the purged copy.
+				delete(q.stale, r.Tag)
+				n.fab.staleWildHits++
+				n.stats.ALPUPostedMisses++
+				return n.fallbackSearch(e, q, alpu.Probe{Bits: probe, Meta: pkt.Seq}, probe, match.FullMask, 0), q
+			}
 			n.stats.ALPUPostedHits++
-			n.noteDeviceSuccess(&n.posted)
-			return n.consumeALPUMatch(e, &n.posted, r.Tag, probe, match.FullMask)
+			n.noteDeviceSuccess(q)
+			return n.consumeALPUMatch(e, q, r.Tag, probe, match.FullMask), q
 		}
 		n.stats.ALPUPostedMisses++
 		// §IV-D: on MATCH FAILURE, search only the portion of the list
 		// that had not been loaded into the ALPU when the failure was
 		// generated.
-		return n.fallbackSearch(e, &n.posted, alpu.Probe{Bits: probe, Meta: pkt.Seq}, probe, match.FullMask, from)
+		return n.fallbackSearch(e, q, alpu.Probe{Bits: probe, Meta: pkt.Seq}, probe, match.FullMask, from), q
 	}
-	if n.posted.hash != nil {
-		return n.searchRemoveHash(e, &n.posted, probe, match.FullMask)
+	if q.hash != nil {
+		return n.searchRemoveHash(e, q, probe, match.FullMask), q
 	}
-	return n.searchRemoveList(e, &n.posted, probe, match.FullMask, 0)
+	return n.searchRemoveShard(e, q, probe, match.FullMask), q
 }
 
 // matchUnexpected finds and removes the unexpected message matching a
@@ -341,19 +368,23 @@ func (n *NIC) consumeALPUMatch(e *proc.Engine, q *mirrorQueue, tag uint32, bits,
 	if entry == nil {
 		n.noteError(&ProtocolError{NIC: n.cfg.ID, Op: "alpu-unknown-tag",
 			Detail: fmt.Sprintf("%s ALPU returned unknown tag %d", q.name, tag)})
-		idx := n.searchList(e, q, bits, mask, 0)
+		idx := n.searchShard(e, q, bits, mask, 0)
 		if idx < 0 {
 			return nil
 		}
 		q.depths.Add(idx)
 		entry = q.list.At(idx)
-		if idx < q.inALPU {
+		inOver := idx >= q.inALPU
+		if !inOver {
 			// The entry was inside the mirrored prefix; keep the pointer
 			// consistent with the unit having consumed its copy.
 			q.inALPU--
 		}
 		e.Cycles(8)
-		q.list.RemoveAt(idx)
+		q.removeAt(idx)
+		if inOver {
+			q.dropOverflow(entry)
+		}
 		return entry
 	}
 	delete(q.tags, tag)
@@ -374,19 +405,23 @@ func (n *NIC) consumeALPUMatch(e *proc.Engine, q *mirrorQueue, tag uint32, bits,
 		n.noteDeviceFault(q, "prefix-mismatch",
 			fmt.Sprintf("tag %d resolved to idx %d, inALPU %d", tag, idx, q.inALPU))
 		if idx < 0 {
-			idx = n.searchList(e, q, bits, mask, 0)
+			idx = n.searchShard(e, q, bits, mask, 0)
 			if idx < 0 {
 				return nil
 			}
 			entry = q.list.At(idx)
 		}
 		q.depths.Add(idx)
+		inOver := idx >= q.inALPU
 		e.Cycles(8)
-		q.list.RemoveAt(idx)
+		q.removeAt(idx)
+		if inOver {
+			q.dropOverflow(entry)
+		}
 		return entry
 	}
 	q.depths.Add(idx)
-	q.list.RemoveAt(idx)
+	q.removeAt(idx)
 	q.inALPU--
 	e.Cycles(8) // list unlink bookkeeping
 	return entry
@@ -440,7 +475,7 @@ func (n *NIC) searchRemoveList(e *proc.Engine, q *mirrorQueue, bits, mask match.
 	q.depths.Add(i)
 	entry := q.list.At(i)
 	e.Cycles(8)
-	q.list.RemoveAt(i)
+	q.removeAt(i)
 	return entry
 }
 
@@ -464,12 +499,13 @@ func (n *NIC) fallbackSearch(e *proc.Engine, q *mirrorQueue, probe alpu.Probe, b
 		// usual, which misses the vanished copy and feeds the resync.
 		from = 0
 	}
-	idx := n.searchList(e, q, bits, mask, from)
+	idx := n.searchShard(e, q, bits, mask, from)
 	if idx < 0 {
 		return nil
 	}
 	q.depths.Add(idx)
 	entry := q.list.At(idx)
+	inOver := idx >= q.inALPU
 	if idx < q.inALPU {
 		n.stats.ALPUPurges++
 		key := n.nextPurgeKey()
@@ -500,7 +536,10 @@ func (n *NIC) fallbackSearch(e *proc.Engine, q *mirrorQueue, probe alpu.Probe, b
 		}
 	}
 	e.Cycles(8)
-	q.list.RemoveAt(idx)
+	q.removeAt(idx)
+	if inOver {
+		q.dropOverflow(entry)
+	}
 	if q.alpuDead && q.hash != nil {
 		// A failover during the purge rebuilt the hash shadow from the list
 		// with this entry still in it; keep the shadow exact.
@@ -577,9 +616,11 @@ func (n *NIC) updateALPUs(e *proc.Engine) bool {
 	if !n.cfg.UseALPU {
 		return false
 	}
-	did := n.updateALPU(e, &n.posted)
-	if n.updateALPU(e, &n.unexp) {
-		did = true
+	did := false
+	for _, q := range n.alpuQueues {
+		if n.updateALPU(e, q) {
+			did = true
+		}
 	}
 	return did
 }
@@ -639,6 +680,13 @@ func (n *NIC) updateALPU(e *proc.Engine, q *mirrorQueue) bool {
 	}
 	for i := 0; i < k; i++ {
 		entry := q.list.At(q.inALPU + i)
+		if q.over != nil {
+			// The entry leaves the shard's software overflow for a cell:
+			// unlink it from the overflow hash (fabric promotion).
+			q.over.Remove(entry)
+			q.promotions++
+			e.Cycles(4)
+		}
 		tag := n.allocTag(q, entry)
 		e.BusTransaction(params.ALPUCommandCycles)
 		n.pushCommand(e, q, alpu.Command{Op: alpu.OpInsert, Bits: entry.Bits, Mask: entry.Mask, Tag: tag})
@@ -656,11 +704,13 @@ func (n *NIC) updateALPU(e *proc.Engine, q *mirrorQueue) bool {
 	return k > 0
 }
 
-// allocTag assigns a free 16-bit tag to an entry.
+// allocTag assigns a free 16-bit tag to an entry. Tags quarantined in
+// q.stale (invalidated cells whose responses may still be in flight) are
+// skipped so a stale MATCH SUCCESS can never alias a fresh entry.
 func (n *NIC) allocTag(q *mirrorQueue, entry *match.Entry) uint32 {
 	for {
 		q.nextTag = (q.nextTag + 1) & 0xffff
-		if _, used := q.tags[q.nextTag]; !used {
+		if _, used := q.tags[q.nextTag]; !used && !q.stale[q.nextTag] {
 			q.tags[q.nextTag] = entry
 			return q.nextTag
 		}
@@ -669,9 +719,18 @@ func (n *NIC) allocTag(q *mirrorQueue, entry *match.Entry) uint32 {
 
 // pushCommand writes one command into the device command FIFO, respecting
 // backpressure (the bus write itself was already charged by the caller).
+// While the FIFO is full the result FIFO is drained into the pending
+// stash: header copies flow to the device in hardware, so it can be
+// blocked pushing a match result at the very moment the firmware needs
+// command space — each side waiting on the other's FIFO. Draining here is
+// the §IV-C mid-episode discipline applied to every backpressured
+// command, and breaks that cycle.
 func (n *NIC) pushCommand(e *proc.Engine, q *mirrorQueue, c alpu.Command) {
 	for !q.dev.PushCommand(c) {
-		e.P.WaitCond(q.dev.Commands.NotFull, func() bool { return !q.dev.Commands.Full() })
+		n.drainResults(e, q)
+		e.P.WaitCondAny(q.dev.Commands.NotFull, q.dev.Results.NotEmpty, func() bool {
+			return !q.dev.Commands.Full() || q.dev.Results.Len() > 0
+		})
 	}
 }
 
@@ -791,5 +850,5 @@ func (n *NIC) softwareMatch(e *proc.Engine, q *mirrorQueue, bits, mask match.Bit
 	if q.hash != nil {
 		return n.searchRemoveHash(e, q, bits, mask)
 	}
-	return n.searchRemoveList(e, q, bits, mask, 0)
+	return n.searchRemoveShard(e, q, bits, mask)
 }

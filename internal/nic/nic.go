@@ -20,6 +20,7 @@ import (
 	"log/slog"
 
 	"alpusim/internal/alpu"
+	"alpusim/internal/cache"
 	"alpusim/internal/dma"
 	"alpusim/internal/dram"
 	"alpusim/internal/match"
@@ -83,6 +84,16 @@ type Config struct {
 	// are bit-identical in observable behaviour; the equivalence oracle in
 	// internal/bench runs both.
 	PerCycleALPU bool
+	// MatchShards, when > 1 with UseALPU, replaces the single
+	// posted-receive unit with a sharded matching fabric of that many ALPU
+	// instances: posted receives hash by (context, source) across the
+	// shards through a hot-entry dispatch cache, each shard pairs its
+	// device with a hash-organised software overflow, and ANY_SOURCE
+	// receives broadcast one copy per shard (fabric.go). The unexpected
+	// queue keeps its single unit. Match outcomes are byte-identical to
+	// every other configuration. Requires UseALPU; mutually exclusive with
+	// UseHashList.
+	MatchShards int
 
 	// ALPUFaults, when active, attaches the device-level fault model to
 	// both matching units (per-unit streams are derived from the seed, the
@@ -90,6 +101,11 @@ type Config struct {
 	// independently and deterministically) and arms the firmware's
 	// strike/resync/failover recovery machinery (devfault.go).
 	ALPUFaults *alpu.FaultModel
+	// ShardFaults optionally overrides the device fault model for
+	// individual fabric shards: ShardFaults[i], when non-nil and active,
+	// replaces ALPUFaults for shard i's unit (the one-shard-dies failover
+	// experiments). Entries beyond MatchShards are ignored.
+	ShardFaults []*alpu.FaultModel
 	// FwCrashProb is the per-pending-work-item probability of an injected
 	// firmware crash at the loop top. The crashed firmware restarts after
 	// FwRestartDelay and replays device state from the shadow queues.
@@ -192,6 +208,16 @@ type mirrorQueue struct {
 	tags    map[uint32]*match.Entry
 	nextTag uint32
 
+	// Fabric-shard state (fabric.go): the hash-organised mirror of the
+	// unloaded list suffix (over == list[inALPU:] while the device lives;
+	// nil outside the fabric and after failover), the quarantine of tags
+	// whose cells were invalidated while a response might still be in
+	// flight, and the overflow promotion/demotion counters.
+	over       *match.HashList
+	stale      map[uint32]bool
+	promotions uint64
+	demotions  uint64
+
 	// Instrumentation for the refs [8]/[9]-style queue studies: where
 	// matches land and how long the queue gets. The histogram lives in
 	// the telemetry registry ("nic<ID>/<name>/match_depth").
@@ -218,6 +244,20 @@ type mirrorQueue struct {
 	retryAt    sim.Time // insert episodes gated until this instant
 	needResync bool     // mirror state suspect; resync at next safe point
 	alpuDead   bool     // failed over: the hash shadow serves matching
+}
+
+// removeAt unlinks the entry at idx from the software list and keeps any
+// stashed responses' not-in-ALPU pointers consistent: removing an entry
+// below a stash-era bracket shifts every later entry down one slot, so
+// the bracket must move with them or a later fallback search would start
+// past the entry it is looking for.
+func (q *mirrorQueue) removeAt(idx int) {
+	q.list.RemoveAt(idx)
+	for i := range q.pending {
+		if q.pending[i].from > idx {
+			q.pending[i].from--
+		}
+	}
 }
 
 type sendState struct {
@@ -255,6 +295,15 @@ type NIC struct {
 
 	posted mirrorQueue
 	unexp  mirrorQueue
+
+	// fab is the sharded matching fabric (fabric.go), non-nil when
+	// Config.MatchShards > 1 with UseALPU; alpuQueues enumerates every
+	// device-backed queue (the fabric shards or posted, plus unexp) for
+	// the maintenance loops. matchLat is the live posted-side match
+	// latency histogram, in 64 ns units, recorded for every configuration.
+	fab        *fabricState
+	alpuQueues []*mirrorQueue
+	matchLat   *telemetry.Histogram
 
 	pendingSends map[uint64]*sendState
 
@@ -332,6 +381,12 @@ func New(eng *sim.Engine, cfg Config, net *network.Network) *NIC {
 	if cfg.UseALPU && cfg.UseHashList {
 		panic("nic: UseALPU and UseHashList are mutually exclusive")
 	}
+	if cfg.MatchShards > 1 && cfg.UseHashList {
+		panic("nic: MatchShards and UseHashList are mutually exclusive")
+	}
+	if cfg.MatchShards > 1 && !cfg.UseALPU {
+		panic("nic: MatchShards requires UseALPU")
+	}
 	if cfg.UseALPU && cfg.Cells == 0 {
 		cfg.Cells = 256
 	}
@@ -372,7 +427,13 @@ func New(eng *sim.Engine, cfg Config, net *network.Network) *NIC {
 		n.tracer.NameProcess(cfg.ID, fmt.Sprintf("nic%d", cfg.ID))
 		n.tracer.NameThread(cfg.ID, tidFirmware, "firmware")
 		if cfg.UseALPU {
-			n.tracer.NameThread(cfg.ID, tidPostedALPU, "posted-alpu")
+			if cfg.MatchShards > 1 {
+				for i := 0; i < cfg.MatchShards; i++ {
+					n.tracer.NameThread(cfg.ID, tidShardBase+i, fmt.Sprintf("posted-alpu%d", i))
+				}
+			} else {
+				n.tracer.NameThread(cfg.ID, tidPostedALPU, "posted-alpu")
+			}
 			n.tracer.NameThread(cfg.ID, tidUnexpALPU, "unexp-alpu")
 		}
 		if cfg.Reliable {
@@ -389,19 +450,45 @@ func New(eng *sim.Engine, cfg Config, net *network.Network) *NIC {
 	n.unexp = newMirrorQueue("unexp", cfg)
 	n.posted.depths = n.reg.Histogram(fmt.Sprintf("nic%d/posted/match_depth", cfg.ID))
 	n.unexp.depths = n.reg.Histogram(fmt.Sprintf("nic%d/unexp/match_depth", cfg.ID))
+	n.matchLat = n.reg.Histogram(fmt.Sprintf("nic%d/posted/match_lat64", cfg.ID))
 	if cfg.UseALPU {
-		n.posted.dev = alpu.MustDevice(eng, fmt.Sprintf("nic%d.palpu", cfg.ID), n.alpuConfig(alpu.PostedReceives, tidPostedALPU))
+		if cfg.MatchShards > 1 {
+			n.fab = &fabricState{cache: cache.New(dispatchCacheGeometry())}
+			for i := 0; i < cfg.MatchShards; i++ {
+				q := newMirrorQueue(fmt.Sprintf("posted%d", i), cfg)
+				q.over = match.NewHashList()
+				q.stale = make(map[uint32]bool)
+				q.depths = n.reg.Histogram(fmt.Sprintf("nic%d/%s/match_depth", cfg.ID, q.name))
+				q.dev = alpu.MustDevice(eng, fmt.Sprintf("nic%d.palpu%d", cfg.ID, i), n.shardConfig(i))
+				n.fab.shards = append(n.fab.shards, &q)
+			}
+			n.alpuQueues = append(n.alpuQueues, n.fab.shards...)
+		} else {
+			n.posted.dev = alpu.MustDevice(eng, fmt.Sprintf("nic%d.palpu", cfg.ID), n.alpuConfig(alpu.PostedReceives, tidPostedALPU))
+			n.alpuQueues = append(n.alpuQueues, &n.posted)
+		}
 		n.unexp.dev = alpu.MustDevice(eng, fmt.Sprintf("nic%d.ualpu", cfg.ID), n.alpuConfig(alpu.UnexpectedMessages, tidUnexpALPU))
+		n.alpuQueues = append(n.alpuQueues, &n.unexp)
 	}
 	// The hardware path of Fig. 1: every matchable header is replicated
 	// into the posted-receive ALPU's header FIFO at delivery time, before
 	// the firmware sees the packet — once the unit is engaged (§IV-C:
 	// delivery of duplicate information is disabled until initialised).
+	// Under the fabric the header replicates only into its owner shard;
+	// the shard index is a pure function of the header, so the hardware
+	// needs no firmware state to route.
 	n.ep.Arrived = n.kick
 	n.ep.OnDeliver = func(pkt network.Packet) {
-		if n.posted.engaged && (pkt.Kind == network.Eager || pkt.Kind == network.RTS) {
-			n.posted.dev.PushProbe(alpu.Probe{Bits: match.Pack(pkt.Hdr), Meta: pkt.Seq})
-			n.posted.probed[pkt.Seq] = true
+		if pkt.Kind != network.Eager && pkt.Kind != network.RTS {
+			return
+		}
+		q := &n.posted
+		if n.fab != nil {
+			q = n.fab.shards[match.ShardOf(match.Pack(pkt.Hdr), len(n.fab.shards))]
+		}
+		if q.engaged {
+			q.dev.PushProbe(alpu.Probe{Bits: match.Pack(pkt.Hdr), Meta: pkt.Seq})
+			q.probed[pkt.Seq] = true
 		}
 	}
 	if cfg.Reliable {
@@ -429,6 +516,10 @@ const (
 	tidPostedALPU
 	tidUnexpALPU
 	tidReliability
+	// tidShardBase + i is fabric shard i's device track (fabric.go); the
+	// offset also salts each shard's fault-stream seed, so the shards of
+	// one NIC fault independently.
+	tidShardBase
 )
 
 func (n *NIC) alpuConfig(v alpu.Variant, tid int) alpu.Config {
@@ -451,6 +542,19 @@ func (n *NIC) alpuConfig(v alpu.Variant, tid int) alpu.Config {
 	c.Tracer = n.tracer
 	c.TracePID = n.cfg.ID
 	c.TraceTID = tid
+	return c
+}
+
+// shardConfig builds fabric shard i's device configuration: the ordinary
+// posted-receive configuration on the shard's own trace/fault stream,
+// with Config.ShardFaults[i] overriding the fault model when set.
+func (n *NIC) shardConfig(i int) alpu.Config {
+	c := n.alpuConfig(alpu.PostedReceives, tidShardBase+i)
+	if i < len(n.cfg.ShardFaults) && n.cfg.ShardFaults[i].Active() {
+		f := *n.cfg.ShardFaults[i]
+		f.Seed = f.Seed + uint64(n.cfg.ID)*0x9E3779B9 + uint64(tidShardBase+i)*0x85EBCA6B
+		c.Faults = &f
+	}
 	return c
 }
 
@@ -477,13 +581,24 @@ func (n *NIC) ErrorCount(op string) uint64 {
 // LastError returns the most recent recoverable protocol error, or nil.
 func (n *NIC) LastError() error { return n.lastErr }
 
-// ALPUDead reports whether the named queue's unit ("posted"/"unexp") has
-// been declared dead and failed over to software matching.
+// ALPUDead reports whether the named queue's unit ("posted"/"unexp", or
+// a fabric shard "posted0".."postedN") has been declared dead and failed
+// over to software matching.
 func (n *NIC) ALPUDead(name string) bool {
 	if name == "posted" {
 		return n.posted.alpuDead
 	}
-	return n.unexp.alpuDead
+	if name == "unexp" {
+		return n.unexp.alpuDead
+	}
+	if n.fab != nil {
+		for _, q := range n.fab.shards {
+			if q.name == name {
+				return q.alpuDead
+			}
+		}
+	}
+	return false
 }
 
 // FailoverCount returns one of the live failover counters ("strikes",
@@ -511,8 +626,24 @@ func (n *NIC) noteError(err *ProtocolError) {
 
 // PostedDepths returns a copy of the posted-receive match-depth histogram
 // (how many entries sat ahead of each match — the refs [8]/[9] metric).
+// Under the fabric the per-shard histograms are merged.
 func (n *NIC) PostedDepths() *trace.Histogram {
+	if n.fab != nil {
+		var h trace.Histogram
+		for _, q := range n.fab.shards {
+			qh := q.depths.Hist()
+			h.Merge(&qh)
+		}
+		return &h
+	}
 	h := n.posted.depths.Hist()
+	return &h
+}
+
+// MatchLatencies returns a copy of the posted-side match latency
+// histogram; one sample per incoming header, in units of 64 ns.
+func (n *NIC) MatchLatencies() *trace.Histogram {
+	h := n.matchLat.Hist()
 	return &h
 }
 
@@ -522,8 +653,14 @@ func (n *NIC) UnexpDepths() *trace.Histogram {
 	return &h
 }
 
-// PeakPostedLen reports the posted queue's high-water mark.
-func (n *NIC) PeakPostedLen() int { return n.posted.peakLen }
+// PeakPostedLen reports the posted queue's high-water mark (fabric-wide
+// under sharding).
+func (n *NIC) PeakPostedLen() int {
+	if n.fab != nil {
+		return n.fab.peakPosted
+	}
+	return n.posted.peakLen
+}
 
 // PeakUnexpLen reports the unexpected queue's high-water mark.
 func (n *NIC) PeakUnexpLen() int { return n.unexp.peakLen }
@@ -536,14 +673,43 @@ func (n *NIC) Mem() *memsys.Hierarchy { return n.mem }
 // there; raw bounded endpoints count their losses here.
 func (n *NIC) RxDrops() uint64 { return n.ep.RxQ.Drops() }
 
-// PostedALPU returns the posted-receive unit, or nil.
+// PostedALPU returns the posted-receive unit, or nil (always nil under
+// the fabric — use ShardALPU).
 func (n *NIC) PostedALPU() *alpu.Device { return n.posted.dev }
+
+// ShardALPU returns fabric shard i's posted-receive unit, or nil when the
+// fabric is off or i is out of range.
+func (n *NIC) ShardALPU(i int) *alpu.Device {
+	if n.fab == nil || i < 0 || i >= len(n.fab.shards) {
+		return nil
+	}
+	return n.fab.shards[i].dev
+}
+
+// MatchShardCount reports the number of fabric shards (0 = no fabric).
+func (n *NIC) MatchShardCount() int {
+	if n.fab == nil {
+		return 0
+	}
+	return len(n.fab.shards)
+}
 
 // UnexpALPU returns the unexpected-message unit, or nil.
 func (n *NIC) UnexpALPU() *alpu.Device { return n.unexp.dev }
 
-// PostedLen reports the current posted receive queue length.
-func (n *NIC) PostedLen() int { return n.queueLen(&n.posted) }
+// PostedLen reports the current posted receive queue length (summed over
+// the shards under the fabric; a broadcast wildcard counts once per
+// shard, like the copies it posts).
+func (n *NIC) PostedLen() int {
+	if n.fab != nil {
+		total := 0
+		for _, q := range n.fab.shards {
+			total += n.queueLen(q)
+		}
+		return total
+	}
+	return n.queueLen(&n.posted)
+}
 
 // UnexpLen reports the current unexpected queue length.
 func (n *NIC) UnexpLen() int { return n.queueLen(&n.unexp) }
@@ -638,26 +804,30 @@ func (n *NIC) PublishTelemetry() {
 	n.reg.Counter(pre + "/fw/alpu_inserts").Set(s.ALPUInserts)
 	n.reg.Counter(pre + "/fw/alpu_purges").Set(s.ALPUPurges)
 	n.reg.Counter(pre + "/rx/drops").Set(n.ep.RxQ.Drops())
-	n.reg.Gauge(pre + "/posted/peak_len").SetMax(int64(n.posted.peakLen))
+	n.reg.Gauge(pre + "/posted/peak_len").SetMax(int64(n.PeakPostedLen()))
 	n.reg.Gauge(pre + "/unexp/peak_len").SetMax(int64(n.unexp.peakLen))
-	n.reg.Gauge(pre + "/posted/len").Set(int64(n.queueLen(&n.posted)))
+	n.reg.Gauge(pre + "/posted/len").Set(int64(n.PostedLen()))
 	n.reg.Gauge(pre + "/unexp/len").Set(int64(n.queueLen(&n.unexp)))
 	n.reg.Gauge(pre + "/rxq/len").Set(int64(n.ep.RxQ.Len()))
 	n.reg.Gauge(pre + "/hostq/len").Set(int64(n.HostQ.Len()))
 	if n.posted.dev != nil {
 		n.posted.dev.Publish(n.reg, pre+"/alpu/posted")
+	}
+	if n.unexp.dev != nil {
 		n.unexp.dev.Publish(n.reg, pre+"/alpu/unexp")
+	}
+	if n.fab != nil {
+		n.publishFabric(pre)
 	}
 	if n.cfg.Reliable {
 		n.reg.Gauge(pre + "/rel/pending").Set(int64(n.RelPending()))
 	}
 	if n.devFaultsOn() {
 		dead := int64(0)
-		if n.posted.alpuDead {
-			dead++
-		}
-		if n.unexp.alpuDead {
-			dead++
+		for _, q := range n.alpuQueues {
+			if q.alpuDead {
+				dead++
+			}
 		}
 		n.reg.Gauge(pre + "/failover/dead_units").Set(dead)
 	}

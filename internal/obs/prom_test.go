@@ -135,6 +135,47 @@ alpusim_nic0_failover_dead_units 1
 	}
 }
 
+// The matching-fabric exposition: the rollup families the mpi layer
+// emits when a sharded fabric is configured (match_fabric/* summed over
+// NICs) must surface as the documented alpusim_match_fabric_* Prometheus
+// families, byte-exactly, together with a representative per-shard gauge.
+func TestWritePromMatchFabricFamilies(t *testing.T) {
+	r := telemetry.NewRegistry()
+	r.Counter("match_fabric/cache_hits").Add(950)
+	r.Counter("match_fabric/cache_misses").Add(50)
+	r.Counter("match_fabric/wild_broadcasts").Add(191)
+	r.Counter("match_fabric/wild_purges").Add(191)
+	r.Counter("match_fabric/stale_wild_hits").Add(3)
+	r.Counter("match_fabric/overflow_promotions").Add(532)
+	r.Counter("match_fabric/overflow_demotions").Add(2)
+	r.Gauge("nic0/fabric/shard1/peak_len").Set(517)
+
+	var b bytes.Buffer
+	if err := WriteProm(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE alpusim_match_fabric_cache_hits counter
+alpusim_match_fabric_cache_hits 950
+# TYPE alpusim_match_fabric_cache_misses counter
+alpusim_match_fabric_cache_misses 50
+# TYPE alpusim_match_fabric_overflow_demotions counter
+alpusim_match_fabric_overflow_demotions 2
+# TYPE alpusim_match_fabric_overflow_promotions counter
+alpusim_match_fabric_overflow_promotions 532
+# TYPE alpusim_match_fabric_stale_wild_hits counter
+alpusim_match_fabric_stale_wild_hits 3
+# TYPE alpusim_match_fabric_wild_broadcasts counter
+alpusim_match_fabric_wild_broadcasts 191
+# TYPE alpusim_match_fabric_wild_purges counter
+alpusim_match_fabric_wild_purges 191
+# TYPE alpusim_nic0_fabric_shard1_peak_len gauge
+alpusim_nic0_fabric_shard1_peak_len 517
+`
+	if b.String() != want {
+		t.Errorf("match-fabric exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
 // Two paths that sanitize to the same metric name must each keep their
 // identity via a path label, in sorted path order.
 func TestWritePromCollision(t *testing.T) {

@@ -149,6 +149,18 @@ func (p *Process) WaitCond(s *Signal, cond func() bool) {
 	}
 }
 
+// WaitCondAny parks the process, re-testing cond each time either signal
+// is raised, until cond is true. cond is also tested immediately. The
+// process joins both waiter lists; whichever Raise comes first wakes it,
+// and the other signal's wake is dropped by the generation guard.
+func (p *Process) WaitCondAny(s1, s2 *Signal, cond func() bool) {
+	for !cond() {
+		s1.addWaiter(p)
+		s2.addWaiter(p)
+		p.park()
+	}
+}
+
 // WaitCondUntil behaves like WaitCond but gives up after d simulated time.
 // It reports whether cond held (true) or the deadline expired first (false).
 // cond is tested immediately; a zero or negative d degenerates to that

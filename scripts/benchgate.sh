@@ -1,7 +1,8 @@
 #!/bin/sh
 # Runs the bench-gate benchmark set — the engine event loop, the
 # event-queue and partition-runner micro-benchmarks, the ALPU device
-# micro-benchmarks, and the quick Fig. 5 sweep cuts — and appends
+# micro-benchmarks, the matching-fabric dispatch/overflow and dispatch-
+# cache micro-benchmarks, and the quick Fig. 5 sweep cuts — and appends
 # the raw `go test -bench` output to the given file (default
 # BENCH_CURRENT.txt). CI compares that output against the committed
 # BENCH_BASELINE.txt with cmd/benchgate; regenerate the baseline by
@@ -19,4 +20,8 @@ go test -run '^$' -bench 'BenchmarkEngineScheduleStep$' -benchtime 1s -count 3 .
 # noise.
 go test -run '^$' -bench 'BenchmarkQueueMicro/' -benchtime 0.2s -count 3 ./internal/sim | tee -a "$out"
 go test -run '^$' -bench 'BenchmarkMicro/' -benchtime 2000x -count 3 ./internal/alpu | tee -a "$out"
+# Fabric hot paths: shard routing + overflow promote/demote are a few ns
+# to ~100 ns each, so time-based benchtime again.
+go test -run '^$' -bench 'BenchmarkFabric' -benchtime 0.2s -count 3 ./internal/match | tee -a "$out"
+go test -run '^$' -bench 'BenchmarkCacheDispatch' -benchtime 0.2s -count 3 ./internal/cache | tee -a "$out"
 go test -run '^$' -bench 'BenchmarkFig5' -benchtime 3x -count 3 . | tee -a "$out"
