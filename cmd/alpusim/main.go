@@ -40,8 +40,9 @@
 //	               -par partitions, with wall-clock speedup
 //	stall          forces a watchdog stall (endless ping-pong world) and
 //	               writes the flight-recorder post-mortem (-flightdump)
-//	all            everything above except chaos, devchaos, bench, scale
-//	               and stall
+//	all            the table and figure experiments plus phases (excludes
+//	               critpath, chaos, devchaos, tenancy, bench, scale, stall)
+//	list           print the experiment table and exit
 //
 // Flags: -quick shrinks the sweeps (~10x faster), -format csv emits
 // machine-readable series instead of tables, -jobs N fans the independent
@@ -68,12 +69,23 @@
 // merged metrics-registry snapshot as JSON; "-" means stdout. Both are
 // byte-identical across runs with the same flags at any -jobs setting.
 //
+// Run reports: for the phases experiment, -report FILE writes a
+// self-contained static HTML run report (occupancy waterlines as inline
+// SVG, phase breakdown, latency quantiles; no JavaScript, no external
+// references), -timeseries FILE writes the decimated simulated-time
+// series as JSON, and -simprof FILE writes a pprof-compatible sim-time
+// profile — span self-times weighted by simulated nanoseconds — that
+// `go tool pprof -top` (or -http for a flamegraph) reads directly. All
+// three are byte-identical at any -par/-jobs setting.
+//
 // Live observability: -serve ADDR runs an HTTP server for the duration of
 // the experiments exposing /metrics (Prometheus text format), /healthz,
-// and /progress (sweep completion, JSON or SSE). Serving is strictly
-// read-only — experiment output stays byte-identical with and without it.
-// -linger keeps the server up after the run so scrapers can catch the
-// final state; -log FILE ("-" = stderr) writes structured simulated-time
+// /progress (sweep completion, JSON or SSE), /critpath (causal reports),
+// /report (the HTML run report) and /timeseries (series JSON; the latter
+// two answer 503 until the run finishes). Serving is strictly read-only —
+// experiment output stays byte-identical with and without it. -linger
+// keeps the server up after the run so scrapers can catch the final
+// state; -log FILE ("-" = stderr) writes structured simulated-time
 // diagnostics (watchdog expiry, protocol errors, flight dumps).
 package main
 
@@ -119,7 +131,10 @@ var (
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 	perCycle   = flag.Bool("percycle", false, "force the per-cycle ALPU reference model (no cycle batching); outputs must be byte-identical")
-	serveAddr  = flag.String("serve", "", "serve the live observability plane (/metrics, /healthz, /progress) on this address while experiments run (e.g. \":9090\"; \":0\" picks a port)")
+	reportOut  = flag.String("report", "", "phases experiment: write the self-contained HTML run report to this file (\"-\" = stdout); with -serve it is also published at /report")
+	tsOut      = flag.String("timeseries", "", "phases experiment: write the simulated-time series dump as JSON to this file (\"-\" = stdout); with -serve it is also published at /timeseries")
+	simprofOut = flag.String("simprof", "", "phases experiment: write a pprof-compatible simulated-time profile to this file (read with `go tool pprof`)")
+	serveAddr  = flag.String("serve", "", "serve the live observability plane (/metrics, /healthz, /progress, /critpath, /report, /timeseries) on this address while experiments run (e.g. \":9090\"; \":0\" picks a port)")
 	linger     = flag.Duration("linger", 0, "with -serve: keep the observability server up this long after the experiments finish")
 	logPath    = flag.String("log", "", "write structured diagnostics (slog text, simulated-time stamped) to this file (\"-\" = stderr)")
 	flightDump = flag.String("flightdump", "flight.json", "stall experiment: write the flight-recorder dump (Perfetto-loadable trace JSON) here on watchdog expiry")
@@ -132,7 +147,42 @@ var (
 var (
 	diagLog         *slog.Logger
 	progressTracker *sweep.Progress
+	obsSrv          *obs.Server
 )
+
+// experimentList names every -experiment value with a one-line
+// description — the table behind "-experiment list" and the
+// unknown-experiment error.
+var experimentList = []struct{ name, desc string }{
+	{"tab3", "Table III processor parameters in use"},
+	{"tab4", "FPGA prototype table, posted receives ALPU (Table IV)"},
+	{"tab5", "FPGA prototype table, unexpected messages ALPU (Table V)"},
+	{"fig5-baseline", "latency surface, baseline NIC (Fig. 5a/b)"},
+	{"fig5-alpu128", "latency surface, NIC + 128-entry ALPU (Fig. 5c/d)"},
+	{"fig5-alpu256", "latency surface, NIC + 256-entry ALPU (Fig. 5e/f)"},
+	{"fig6", "unexpected-queue latency series, all 3 NICs (Fig. 6)"},
+	{"gap", "inverse message rate vs match depth, incl. the Elan4-class point"},
+	{"anchors", "the §VI-B/§VI-C text anchors, measured vs published"},
+	{"phases", "per-message latency phase breakdown of the Fig. 5 workload"},
+	{"critpath", "causal critical-path analysis: per-resource blame and what-ifs"},
+	{"chaos", "figure workloads over a faulty network vs protocol recovery"},
+	{"devchaos", "device-chaos soak: ALPUs that flip bits, stall or die"},
+	{"tenancy", "heavy-tenancy matching sweep incl. the sharded fabric"},
+	{"bench", "wall-clock harness; appends a timestamped record to BENCH.json"},
+	{"scale", "conservative-PDES scaling study: serial engine vs -par"},
+	{"stall", "forced watchdog stall with a flight-recorder post-mortem"},
+	{"all", "tables, figures, gap, anchors and phases (the deterministic core)"},
+	{"list", "print this table and exit"},
+}
+
+// printExperiments renders the experiment table to w.
+func printExperiments(w io.Writer) {
+	tb := stats.NewTable("experiment", "description")
+	for _, e := range experimentList {
+		tb.AddRow(e.name, e.desc)
+	}
+	tb.Render(w)
+}
 
 // openLog builds the -log slog logger; "" disables, "-" is stderr.
 func openLog(path string) (*slog.Logger, func(), error) {
@@ -171,19 +221,18 @@ func main() {
 		os.Exit(1)
 	}
 	defer closeLog()
-	var srv *obs.Server
 	if *serveAddr != "" {
 		progressTracker = sweep.NewProgress()
 		sweep.SetProgress(progressTracker)
-		srv = obs.NewServer(obs.Options{Progress: progressTracker, Log: diagLog})
-		addr, err := srv.Start(*serveAddr)
+		obsSrv = obs.NewServer(obs.Options{Progress: progressTracker, Log: diagLog})
+		addr, err := obsSrv.Start(*serveAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "alpusim: -serve: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "alpusim: observability plane on http://%s\n", addr)
-		bench.WorldObserver = func(w *mpi.World) { srv.MergeSnapshot(w.TelemetrySnapshot()) }
-		bench.CritPathObserver = func(label string, rep telemetry.CausalReport) { srv.AddCritPath(label, rep) }
+		bench.WorldObserver = func(w *mpi.World) { obsSrv.MergeSnapshot(w.TelemetrySnapshot()) }
+		bench.CritPathObserver = func(label string, rep telemetry.CausalReport) { obsSrv.AddCritPath(label, rep) }
 	}
 	bench.PerCycleALPU = *perCycle
 	switch *experiment {
@@ -221,6 +270,8 @@ func main() {
 		scaleExp()
 	case "stall":
 		stallExp()
+	case "list":
+		printExperiments(os.Stdout)
 	case "all":
 		tab3()
 		fpgaTable(alpu.PostedReceives)
@@ -233,16 +284,16 @@ func main() {
 		anchors()
 		phasesExp()
 	default:
-		fmt.Fprintf(os.Stderr, "alpusim: unknown experiment %q\n", *experiment)
-		flag.Usage()
+		fmt.Fprintf(os.Stderr, "alpusim: unknown experiment %q; valid experiments:\n\n", *experiment)
+		printExperiments(os.Stderr)
 		os.Exit(1)
 	}
-	if srv != nil {
+	if obsSrv != nil {
 		if *linger > 0 {
 			fmt.Fprintf(os.Stderr, "alpusim: experiments done; serving for another %v\n", *linger)
 			time.Sleep(*linger)
 		}
-		srv.Close()
+		obsSrv.Close()
 	}
 }
 
@@ -768,13 +819,17 @@ func phasesExp() {
 			os.Exit(2)
 		}
 	}
+	// The run report and the /report, /timeseries endpoints need the
+	// time-series sampler; the sim-time profile rides on the tracer.
+	wantReport := *reportOut != "" || *tsOut != "" || obsSrv != nil
 	pts := bench.RunPhases(bench.PhasesConfig{
 		QueueLens:  phasesLens(),
 		MsgSize:    *msgSize,
 		Jobs:       *jobs,
 		Partitions: *par,
 		Faults:     fm,
-		Trace:      *tracePath != "",
+		Trace:      *tracePath != "" || *simprofOut != "",
+		Series:     wantReport,
 	})
 	if *format == "csv" {
 		header := []string{"nic", "queue_len"}
@@ -815,6 +870,61 @@ func phasesExp() {
 			fmt.Fprintf(os.Stderr, "alpusim: -metrics: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *simprofOut != "" {
+		err := writeOutput(*simprofOut, func(w io.Writer) error {
+			return telemetry.WriteSimProfile(w, bench.Tracers(pts)...)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alpusim: -simprof: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if wantReport {
+		// The title describes the workload only: anything -par/-jobs
+		// dependent would break the byte-identity CI asserts on the report.
+		title := "alpusim phases experiment"
+		if *faultSpec != "" {
+			title += fmt.Sprintf(" (faults %s, seed %d)", *faultSpec, *faultSeed)
+		}
+		var totals telemetry.Totals
+		for _, p := range pts {
+			totals.Merge(p.Totals)
+		}
+		emitReport(&obs.Report{
+			Title:    title,
+			Series:   bench.MergedSeries(pts),
+			Phases:   totals,
+			Snapshot: bench.MergedMetrics(pts),
+		})
+	}
+}
+
+// emitReport renders the run report once and fans it out to every sink
+// the flags asked for: the -report HTML file, the -timeseries JSON file,
+// and the obs server's /report and /timeseries endpoints.
+func emitReport(rep *obs.Report) {
+	html, tsJSON := rep.HTML(), rep.TimeseriesJSON()
+	if *reportOut != "" {
+		if err := writeOutput(*reportOut, func(w io.Writer) error {
+			_, err := w.Write(html)
+			return err
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "alpusim: -report: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *tsOut != "" {
+		if err := writeOutput(*tsOut, func(w io.Writer) error {
+			_, err := w.Write(tsJSON)
+			return err
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "alpusim: -timeseries: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if obsSrv != nil {
+		obsSrv.SetReport(html, tsJSON)
 	}
 }
 
@@ -934,9 +1044,20 @@ func tenancyExp() {
 		bench.WriteTenancyOutcomes(os.Stdout, p, rep)
 		return
 	}
+	// The report wants the occupancy waterlines (per-config queue depths,
+	// per-shard fabric balance) the sweep table cannot show.
+	wantReport := *reportOut != "" || *tsOut != "" || obsSrv != nil
+	cfg.Series = wantReport
 	fmt.Printf("Heavy tenancy: Zipf-skewed multi-communicator matching, seed %d\n", *faultSeed)
-	bench.RenderTenancy(os.Stdout, bench.RunTenancy(cfg))
+	rows := bench.RunTenancy(cfg)
+	bench.RenderTenancy(os.Stdout, rows)
 	fmt.Println()
+	if wantReport {
+		emitReport(&obs.Report{
+			Title:  fmt.Sprintf("alpusim tenancy sweep (seed %d)", *faultSeed),
+			Series: bench.MergedTenancySeries(rows),
+		})
+	}
 }
 
 func anchors() {

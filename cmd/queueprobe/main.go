@@ -21,6 +21,13 @@
 // -trace FILE writes the session's device activity (insert/search spans
 // on the simulated clock) as Chrome trace-event JSON; -metrics FILE
 // writes the device counters as a metrics snapshot. "-" means stdout.
+//
+// -serve ADDR runs the shared observability HTTP server (/metrics,
+// /healthz, /progress, /critpath, /report, /timeseries) for the session;
+// queueprobe re-publishes the device counters to /metrics after every
+// command. The run-report endpoints answer 503 here — single-device
+// probing has no world to report on; they are alpusim's and
+// queuestudy's.
 package main
 
 import (
@@ -51,7 +58,7 @@ var (
 	metricsOut = flag.String("metrics", "", "write the device metrics snapshot JSON to this file (\"-\" = stdout)")
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
-	serveAddr  = flag.String("serve", "", "serve the live observability plane (/metrics, /healthz) on this address; the device counters are re-published after every command")
+	serveAddr  = flag.String("serve", "", "serve the live observability plane (/metrics, /healthz, /progress, /critpath, /report, /timeseries) on this address; the device counters are re-published after every command")
 	linger     = flag.Duration("linger", 0, "with -serve: keep the observability server up this long after the session ends")
 )
 

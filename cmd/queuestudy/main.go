@@ -19,8 +19,15 @@
 // Telemetry: -breakdown adds a per-study table of mean per-message
 // latency phases; -trace FILE writes a Chrome trace-event JSON of every
 // study world (load at ui.perfetto.dev); -metrics FILE writes the merged
-// metrics-registry snapshot as JSON. "-" means stdout. All outputs are
-// byte-identical at any -jobs setting.
+// metrics-registry snapshot as JSON; -report FILE writes a
+// self-contained static HTML run report with per-study occupancy
+// waterlines (inline SVG, no JavaScript). "-" means stdout. All outputs
+// are byte-identical at any -jobs setting.
+//
+// -serve ADDR runs the observability HTTP server while the studies run
+// (/metrics, /healthz, /progress, /critpath, /report, /timeseries); with
+// -report data collected, the run report and series are published on
+// /report and /timeseries once the studies finish.
 //
 // -par N splits every study world into N per-rank partitions run as a
 // conservative parallel simulation (see alpusim -help); every output is
@@ -60,9 +67,10 @@ var (
 	breakdown  = flag.Bool("breakdown", false, "report mean per-message latency phases per study")
 	tracePath  = flag.String("trace", "", "write Chrome trace-event JSON to this file (\"-\" = stdout)")
 	metricsOut = flag.String("metrics", "", "write the merged metrics snapshot JSON to this file (\"-\" = stdout)")
+	reportOut  = flag.String("report", "", "write the self-contained HTML run report to this file (\"-\" = stdout); with -serve it is also published at /report")
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
-	serveAddr  = flag.String("serve", "", "serve the live observability plane (/metrics, /healthz, /progress) on this address while the studies run")
+	serveAddr  = flag.String("serve", "", "serve the live observability plane (/metrics, /healthz, /progress, /critpath, /report, /timeseries) on this address while the studies run")
 	linger     = flag.Duration("linger", 0, "with -serve: keep the observability server up this long after the studies finish")
 	flightSize = flag.Int("flightsize", 0, "flight-recorder ring capacity in events per study world (0 = default when a watchdog is armed; < 0 disables the recorder)")
 )
@@ -164,23 +172,32 @@ func main() {
 	}
 	var studies []study
 	var runs []func() workloads.Report
-	// Per-run recorders (phases and tracer), indexed like runs: each
-	// world owns its recorders; outputs merge in enumeration order.
+	// Per-run recorders (phases, tracer, sampler), indexed like runs:
+	// each world owns its recorders; outputs merge in enumeration order.
+	wantReport := *reportOut != "" || srv != nil
 	var phases []*telemetry.Phases
 	var tracers []*telemetry.Tracer
-	addRun := func(cfg nic.Config, n int, r runner) {
+	var samplers []*telemetry.Sampler
+	var runLabels []string
+	addRun := func(cfg nic.Config, n int, r runner, label string) {
 		var p *telemetry.Phases
 		var tr *telemetry.Tracer
+		var sa *telemetry.Sampler
 		if *breakdown {
 			p = telemetry.NewPhases()
 		}
 		if *tracePath != "" {
 			tr = telemetry.NewTracer()
 		}
+		if wantReport {
+			sa = telemetry.NewSampler(0, 0)
+		}
 		phases = append(phases, p)
 		tracers = append(tracers, tr)
+		samplers = append(samplers, sa)
+		runLabels = append(runLabels, fmt.Sprintf("%s/r%d/%s/", r.name, n, label))
 		ro := append(append([]workloads.Option{}, opts...),
-			workloads.WithPhases(p), workloads.WithTracer(tr))
+			workloads.WithPhases(p), workloads.WithTracer(tr), workloads.WithSeries(sa))
 		runs = append(runs, func() workloads.Report { return r.run(cfg, n, ro...) })
 	}
 	for _, r := range runners() {
@@ -190,12 +207,12 @@ func main() {
 		for _, n := range ranks {
 			r, n := r, n
 			studies = append(studies, study{name: r.name, ranks: n})
-			addRun(nic.Config{}, n, r)
+			addRun(nic.Config{}, n, r, "base")
 			accel := nic.Config{UseALPU: true, Cells: *cells}
 			if *shardsFlag > 1 {
 				accel.MatchShards = *shardsFlag
 			}
-			addRun(accel, n, r)
+			addRun(accel, n, r, "alpu")
 		}
 	}
 	reports := sweep.Map(*jobsFlag, len(runs), func(i int) workloads.Report { return runs[i]() })
@@ -313,6 +330,43 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "queuestudy: -metrics: %v\n", err)
 			os.Exit(1)
+		}
+	}
+	if wantReport {
+		// Fold the per-run samplers under study-scoped prefixes
+		// ("halo/r8/alpu/..."), as the waterline names in the report. The
+		// title carries only workload parameters — nothing -jobs or -par
+		// dependent — so the report bytes are parallelism-invariant.
+		series := telemetry.NewSampler(0, 0)
+		for i, sa := range samplers {
+			series.AbsorbAs(runLabels[i], sa)
+		}
+		title := fmt.Sprintf("queuestudy %s, ranks %s, cells %d", *workload, *ranksFlag, *cells)
+		if fm != nil {
+			title += fmt.Sprintf(" (faults %s, seed %d)", *faultSpec, *faultSeed)
+		}
+		var totals telemetry.Totals
+		for _, p := range phases {
+			totals.Merge(p.Totals())
+		}
+		var merged telemetry.Snapshot
+		for _, rep := range reports {
+			merged.Merge(rep.Telemetry)
+		}
+		rep := &obs.Report{Title: title, Series: series, Phases: totals, Snapshot: merged}
+		html, tsJSON := rep.HTML(), rep.TimeseriesJSON()
+		if *reportOut != "" {
+			err := writeOutput(*reportOut, func(w io.Writer) error {
+				_, err := w.Write(html)
+				return err
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "queuestudy: -report: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if srv != nil {
+			srv.SetReport(html, tsJSON)
 		}
 	}
 	fmt.Println("Reading the table: queue depth and match depth grow with the process")

@@ -118,14 +118,15 @@ type PrepostedConfig struct {
 	Faults   *network.FaultModel
 	Watchdog sim.Time
 
-	// Telemetry / Tracer / Phases / Causal instrument the point's world.
-	// Each world must own its recorders, so these only make sense when the
-	// config describes a single point (the phases, chaos and critpath
-	// harnesses build a fresh config per cell).
+	// Telemetry / Tracer / Phases / Causal / Series instrument the point's
+	// world. Each world must own its recorders, so these only make sense
+	// when the config describes a single point (the phases, chaos and
+	// critpath harnesses build a fresh config per cell).
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
 	Phases    *telemetry.Phases
 	Causal    *telemetry.Causal
+	Series    *telemetry.Sampler
 }
 
 // jobs maps the config's zero value to the historical sequential run.
@@ -250,7 +251,7 @@ func prepostedPoint(cfg PrepostedConfig, q, p int) (sim.Time, *mpi.World) {
 		Ranks: 2, NIC: cfg.NIC, Partitions: cfg.Partitions,
 		Faults: cfg.Faults, WatchdogLimit: cfg.Watchdog,
 		Telemetry: cfg.Telemetry, Tracer: cfg.Tracer, Phases: cfg.Phases,
-		Causal: cfg.Causal,
+		Causal: cfg.Causal, Series: cfg.Series,
 	}, progs)
 
 	observeWorld(w)

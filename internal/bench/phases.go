@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"io"
 
 	"alpusim/internal/mpi"
@@ -38,6 +39,10 @@ type PhasesConfig struct {
 	// Trace additionally collects a Chrome trace per cell
 	// (PhasePoint.Tracer), ready for telemetry.WriteTrace.
 	Trace bool
+	// Series additionally samples per-NIC time series per cell
+	// (PhasePoint.Series) at the default interval — the waterline data
+	// behind the run report and the /timeseries endpoint.
+	Series bool
 }
 
 // PhasePoint is one cell of the experiment.
@@ -54,9 +59,11 @@ type PhasePoint struct {
 	// (probes, acks, barrier traffic), for mean-phase reporting.
 	Totals telemetry.Totals
 	// Metrics is the cell world's registry snapshot; Tracer is non-nil
-	// when PhasesConfig.Trace was set.
+	// when PhasesConfig.Trace was set, Series when PhasesConfig.Series
+	// was.
 	Metrics telemetry.Snapshot
 	Tracer  *telemetry.Tracer
+	Series  *telemetry.Sampler
 }
 
 func (c PhasesConfig) kinds() []NICKind {
@@ -104,12 +111,16 @@ func RunPhases(cfg PhasesConfig) []PhasePoint {
 		if cfg.Trace {
 			pc.Tracer = telemetry.NewTracer()
 		}
+		if cfg.Series {
+			pc.Series = telemetry.NewSampler(0, 0)
+		}
 		lat, w := prepostedPoint(pc, c.q, c.q)
 		bd, _ := pc.Phases.Breakdown(mpi.MsgKey(0, matchBase+iters-1))
 		return PhasePoint{
 			Kind: c.kind, QueueLen: c.q, Latency: lat,
 			Breakdown: bd, Totals: pc.Phases.Totals(),
 			Metrics: w.TelemetrySnapshot(), Tracer: pc.Tracer,
+			Series: pc.Series,
 		}
 	})
 }
@@ -122,6 +133,23 @@ func MergedMetrics(points []PhasePoint) telemetry.Snapshot {
 		s.Merge(p.Metrics)
 	}
 	return s
+}
+
+// MergedSeries folds the per-cell samplers into one set, each cell's
+// series prefixed "kind/q<len>/" — the experiment-wide waterline data
+// behind -report and /timeseries. Returns nil when sampling was off.
+func MergedSeries(points []PhasePoint) *telemetry.Sampler {
+	var m *telemetry.Sampler
+	for _, p := range points {
+		if p.Series == nil {
+			continue
+		}
+		if m == nil {
+			m = telemetry.NewSampler(p.Series.Interval(), 0)
+		}
+		m.AbsorbAs(fmt.Sprintf("%s/q%d/", p.Kind, p.QueueLen), p.Series)
+	}
+	return m
 }
 
 // Tracers collects the non-nil per-cell tracers in enumeration order,

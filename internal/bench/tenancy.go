@@ -9,6 +9,7 @@ import (
 	"alpusim/internal/sim"
 	"alpusim/internal/stats"
 	"alpusim/internal/sweep"
+	"alpusim/internal/telemetry"
 	"alpusim/internal/trace"
 	"alpusim/internal/workloads"
 )
@@ -33,6 +34,10 @@ type TenancyBenchConfig struct {
 	Shards     []int
 	Jobs       int
 	Partitions int
+	// Series attaches a time-series sampler to every configuration's
+	// receiver world — the per-config occupancy waterlines behind
+	// -report / -timeseries (MergedTenancySeries).
+	Series bool
 }
 
 func (c *TenancyBenchConfig) norm() {
@@ -72,6 +77,10 @@ type TenancyRow struct {
 	// Match-latency quantiles (ns) over every posted-side search on the
 	// receiver, software and ALPU paths alike.
 	P50, P95, P99 int64
+
+	// Series is the configuration's time-series sampler (nil unless
+	// TenancyBenchConfig.Series was set).
+	Series *telemetry.Sampler
 }
 
 // matchLatNs merges the per-NIC match-latency histograms (64 ns units)
@@ -101,6 +110,11 @@ func tenancyRow(cfg TenancyBenchConfig, name string, alpuOn bool, shards int) Te
 	if cfg.Partitions > 0 {
 		opts = append(opts, workloads.WithPartitions(cfg.Partitions))
 	}
+	var sa *telemetry.Sampler
+	if cfg.Series {
+		sa = telemetry.NewSampler(0, 0)
+		opts = append(opts, workloads.WithSeries(sa))
+	}
 	rep := workloads.Tenancy(nc, workloads.TenancyParams{
 		Ranks: cfg.Ranks, Comms: cfg.Comms, Msgs: cfg.Msgs, Seed: cfg.Seed,
 	}, opts...)
@@ -110,6 +124,7 @@ func tenancyRow(cfg TenancyBenchConfig, name string, alpuOn bool, shards int) Te
 		P50: matchLatNs(rep.Report, 0.5),
 		P95: matchLatNs(rep.Report, 0.95),
 		P99: matchLatNs(rep.Report, 0.99),
+		Series: sa,
 	}
 	if nc.MatchShards > 1 {
 		snap := rep.Telemetry
@@ -197,6 +212,24 @@ func RenderTenancy(out io.Writer, rows []TenancyRow) {
 			base.Config, base.P99, fab4.Config, fab4.P99,
 			float64(base.P99)/float64(fab4.P99))
 	}
+}
+
+// MergedTenancySeries folds the per-configuration samplers into one set,
+// each row's series prefixed "<config>/" ("alpu-128/nic0/posted/depth",
+// "fabric-4/nic0/fabric/shard2/depth", ...) — the waterline comparison
+// behind -report and /timeseries. Returns nil when sampling was off.
+func MergedTenancySeries(rows []TenancyRow) *telemetry.Sampler {
+	var m *telemetry.Sampler
+	for _, r := range rows {
+		if r.Series == nil {
+			continue
+		}
+		if m == nil {
+			m = telemetry.NewSampler(r.Series.Interval(), 0)
+		}
+		m.AbsorbAs(r.Config+"/", r.Series)
+	}
+	return m
 }
 
 // WriteTenancyOutcomes dumps one configuration's receive outcomes in

@@ -84,6 +84,13 @@ type Config struct {
 	// Causal records per-message causal context (pipeline stamps, cause
 	// links, resource annotations) for critical-path analysis.
 	Causal *telemetry.Causal
+	// Series, when set, samples per-NIC time series (queue depths, FIFO
+	// occupancy, go-back-N window, fabric balance, rolling match-latency
+	// p99) on each engine's front-poll chain at the sampler's interval.
+	// The caller's sampler is the master: the world attaches one shard
+	// per engine and folds them back canonically when the run ends, so
+	// series bytes are identical at any Partitions setting.
+	Series *telemetry.Sampler
 
 	// FlightEvents sizes the world's flight recorder: a bounded ring of
 	// the most recent trace events, recorded even when no full Tracer is
@@ -114,12 +121,13 @@ type World struct {
 	NICs  []*nic.NIC
 	Hosts []*host.Host
 
-	// Tel is the world's metrics registry (never nil); Tracer, Phases and
-	// Causal mirror the Config fields (nil when not requested).
+	// Tel is the world's metrics registry (never nil); Tracer, Phases,
+	// Causal and Series mirror the Config fields (nil when not requested).
 	Tel    *telemetry.Registry
 	Tracer *telemetry.Tracer
 	Phases *telemetry.Phases
 	Causal *telemetry.Causal
+	Series *telemetry.Sampler
 
 	// Flight is the recorder the world's components trace into: the
 	// bounded flight ring when no full tracer was configured, or the
@@ -135,6 +143,7 @@ type World struct {
 	recShards    []*telemetry.Tracer  // per-partition tracer/flight shards
 	phaseShards  []*telemetry.Phases  // per-partition phase shards
 	causalShards []*telemetry.Causal  // per-partition causal shards
+	seriesShards []*telemetry.Sampler // per-engine sampler shards (also serial)
 	wds          []*sim.Watchdog      // per-partition watchdogs
 	wdErrs       []*sim.WatchdogError // per-partition expiry, read at barriers
 	absorbed     bool                 // shards folded into Tracer/Phases
@@ -247,6 +256,7 @@ func NewWorld(cfg Config) *World {
 		Tel:         reg,
 		Tracer:      cfg.Tracer,
 		Phases:      cfg.Phases,
+		Series:      cfg.Series,
 		Flight:      rec,
 		log:         telemetry.SimLogger(cfg.Log, eng.Now),
 		flightPath:  cfg.FlightDumpPath,
@@ -267,6 +277,13 @@ func NewWorld(cfg Config) *World {
 	// would flood the small flight ring with counter events and evict
 	// the firmware history a post-mortem is actually after.
 	telemetry.TraceEngine(eng, cfg.Tracer, 0)
+	// The time-series sampler works through a shard even in serial mode,
+	// so the fold into the master is identical at any partition count.
+	if cfg.Series != nil {
+		sh := cfg.Series.Shard()
+		w.seriesShards = []*telemetry.Sampler{sh}
+		sh.Attach(eng)
+	}
 	for i := 0; i < cfg.Ranks; i++ {
 		nc := cfg.NIC
 		nc.ID = i
@@ -275,6 +292,9 @@ func NewWorld(cfg Config) *World {
 		nc.Tracer = rec
 		nc.Phases = cfg.Phases
 		nc.Causal = cfg.Causal
+		if w.seriesShards != nil {
+			nc.Series = w.seriesShards[0]
+		}
 		nc.Log = w.log
 		if w.flightPath != "" {
 			nc.ErrorHook = func(error) { w.dumpFlight("protocol-error", false) }
@@ -378,6 +398,14 @@ func newPartitionedWorld(cfg Config) *World {
 			causalShards[p] = telemetry.NewCausal()
 		}
 	}
+	var seriesShards []*telemetry.Sampler
+	if cfg.Series != nil {
+		seriesShards = make([]*telemetry.Sampler, nparts)
+		for p := range seriesShards {
+			seriesShards[p] = cfg.Series.Shard()
+			seriesShards[p].Attach(engines[p])
+		}
+	}
 	w := &World{
 		Eng:          engines[0],
 		Net:          net,
@@ -385,12 +413,14 @@ func newPartitionedWorld(cfg Config) *World {
 		Tracer:       cfg.Tracer,
 		Phases:       cfg.Phases,
 		Causal:       cfg.Causal,
+		Series:       cfg.Series,
 		Engines:      engines,
 		ps:           ps,
 		partOf:       partOf,
 		recShards:    recShards,
 		phaseShards:  phaseShards,
 		causalShards: causalShards,
+		seriesShards: seriesShards,
 		log:          telemetry.SimLogger(cfg.Log, engines[0].Now),
 		flightPath:   cfg.FlightDumpPath,
 		devFaults:    cfg.Faults.DeviceActive() || nicDeviceFaults(cfg.NIC),
@@ -426,6 +456,9 @@ func newPartitionedWorld(cfg Config) *World {
 		if causalShards != nil {
 			nc.Causal = causalShards[p]
 		}
+		if seriesShards != nil {
+			nc.Series = seriesShards[p]
+		}
 		nc.Log = logs[p]
 		if w.flightPath != "" && recShards[0] != nil {
 			// The hook fires on a partition goroutine mid-window, where
@@ -457,6 +490,13 @@ func newPartitionedWorld(cfg Config) *World {
 	ps.OnInject = func(p int) {
 		if w.wds != nil {
 			w.wds[p].Poke()
+		}
+		if seriesShards != nil {
+			// A drained partition's sampler chain stopped re-arming; an
+			// injected delivery is about to wake it, so resume the chain at
+			// the tick where it left off. The engine was frozen in between,
+			// so the resumed ticks sample what the serial run would have.
+			seriesShards[p].Rearm()
 		}
 	}
 	ps.OnBarrier = func() { w.onBarrier(cfg) }
@@ -521,6 +561,7 @@ func (w *World) onBarrier(cfg Config) {
 func (w *World) RunSim() {
 	if w.ps == nil {
 		w.Eng.Run()
+		w.finalizeSeries()
 		return
 	}
 	defer w.absorbShards()
@@ -543,6 +584,32 @@ func (w *World) absorbShards() {
 	if w.Causal != nil {
 		w.Causal.Absorb(w.causalShards...)
 	}
+	w.finalizeSeries()
+}
+
+// finalizeSeries pads every sampler shard to the canonical sample count
+// for the world's end-of-model time — max over engines of LastModel, a
+// pure function of the modelled event set — and folds the shards into
+// the master sampler. Idempotent; runs with every engine drained.
+func (w *World) finalizeSeries() {
+	if w.Series == nil || w.seriesShards == nil {
+		return
+	}
+	var tEnd sim.Time
+	if w.ps == nil {
+		tEnd = w.Eng.LastModel()
+	} else {
+		for _, eng := range w.Engines {
+			if t := eng.LastModel(); t > tEnd {
+				tEnd = t
+			}
+		}
+	}
+	for _, sh := range w.seriesShards {
+		sh.Finalize(tEnd)
+		w.Series.Absorb(sh)
+	}
+	w.seriesShards = nil
 }
 
 // flightTracer returns the recorder WriteFlight and dumpFlight render:
@@ -628,6 +695,11 @@ func (w *World) TelemetrySnapshot() telemetry.Snapshot {
 		n.PublishTelemetry()
 	}
 	w.Net.Publish(w.Tel)
+	if w.seriesShards == nil {
+		// Series gauges publish only once the run ended and the shards
+		// folded; mid-run values would depend on the window schedule.
+		w.Series.Publish(w.Tel)
+	}
 	if w.devFaults {
 		// World-level rollups of the device-fault and failover counters:
 		// these become the alpusim_alpu_faults_* / alpusim_nic_failover_*

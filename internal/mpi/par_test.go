@@ -24,6 +24,7 @@ type worldOutputs struct {
 	trace  string
 	phases string
 	faults string
+	series string
 }
 
 func partitionedOutputs(t *testing.T, parts int, withFaults bool) worldOutputs {
@@ -32,11 +33,13 @@ func partitionedOutputs(t *testing.T, parts int, withFaults bool) worldOutputs {
 	plan := buildSoakPlan(rand.New(rand.NewSource(23)), ranks, 64)
 	tracer := telemetry.NewTracer()
 	phases := telemetry.NewPhases()
+	sampler := telemetry.NewSampler(0, 0)
 	cfg := Config{
 		Ranks:      ranks,
 		Partitions: parts,
 		Tracer:     tracer,
 		Phases:     phases,
+		Series:     sampler,
 	}
 	if withFaults {
 		cfg.Faults = &network.FaultModel{
@@ -48,12 +51,17 @@ func partitionedOutputs(t *testing.T, parts int, withFaults bool) worldOutputs {
 	if err := telemetry.WriteTrace(&buf, tracer); err != nil {
 		t.Fatalf("par%d: trace: %v", parts, err)
 	}
+	var ts bytes.Buffer
+	if err := sampler.WriteJSON(&ts); err != nil {
+		t.Fatalf("par%d: timeseries: %v", parts, err)
+	}
 	return worldOutputs{
 		digest: digest,
 		table:  w.TelemetrySnapshot().Table(),
 		trace:  buf.String(),
 		phases: fmt.Sprintf("%+v", phases.Totals()),
 		faults: w.Net.FaultStats().String(),
+		series: ts.String(),
 	}
 }
 
@@ -74,6 +82,9 @@ func TestPartitionedCanonicalDeterminism(t *testing.T) {
 			if ref.trace == "" || !strings.Contains(ref.table, "\n") {
 				t.Fatal("reference run produced empty observables")
 			}
+			if !strings.Contains(ref.series, "nic0/posted/depth") {
+				t.Fatalf("reference run produced no time series:\n%s", ref.series)
+			}
 			for _, parts := range []int{2, 3, 4, 8} {
 				got := partitionedOutputs(t, parts, faults)
 				if got.digest != ref.digest {
@@ -92,6 +103,10 @@ func TestPartitionedCanonicalDeterminism(t *testing.T) {
 				}
 				if got.faults != ref.faults {
 					t.Errorf("par%d: fault stats %s != par1 %s", parts, got.faults, ref.faults)
+				}
+				if got.series != ref.series {
+					t.Errorf("par%d: time-series bytes diverged from par1:\n--- par1\n%s\n--- par%d\n%s",
+						parts, ref.series, parts, got.series)
 				}
 			}
 		})

@@ -176,6 +176,11 @@ type Config struct {
 	// Causal, when set, receives per-message causal stamps and the
 	// firmware's resync/failover time annotations (telemetry.Causal).
 	Causal *telemetry.Causal
+	// Series, when set, receives the NIC's time-series probes: queue
+	// depths, FIFO occupancy, the go-back-N window, per-shard fabric
+	// balance and the rolling match-latency p99, all sampled on the
+	// owning engine's front-poll chain (telemetry.Sampler).
+	Series *telemetry.Sampler
 }
 
 // Stats aggregates firmware activity for the benchmark reports.
@@ -494,8 +499,39 @@ func New(eng *sim.Engine, cfg Config, net *network.Network) *NIC {
 	if cfg.Reliable {
 		n.relInit()
 	}
+	n.registerProbes(cfg.Series)
 	eng.Spawn(fmt.Sprintf("nic%d.fw", cfg.ID), n.firmware)
 	return n
+}
+
+// registerProbes wires the NIC's time-series probes into the world's (or,
+// in a partitioned world, the owning partition's) sampler. Every name is
+// nic-scoped, so shard samplers union without collision. Probes read live
+// NIC state, which is safe: a front poll fires on the NIC's own engine,
+// after every event strictly before the tick and before any event at it.
+func (n *NIC) registerProbes(sa *telemetry.Sampler) {
+	if sa == nil {
+		return
+	}
+	pre := fmt.Sprintf("nic%d", n.cfg.ID)
+	sa.Probe(pre+"/posted/depth", func() int64 { return int64(n.PostedLen()) })
+	sa.Probe(pre+"/unexp/depth", func() int64 { return int64(n.UnexpLen()) })
+	sa.Probe(pre+"/rxq/depth", func() int64 { return int64(n.ep.RxQ.Len()) })
+	sa.Probe(pre+"/hostq/depth", func() int64 { return int64(n.HostQ.Len()) })
+	sa.Probe(pre+"/posted/match_lat64_p99", func() int64 {
+		h := n.matchLat.Hist()
+		return int64(h.Percentile(0.99))
+	})
+	if n.cfg.Reliable {
+		sa.Probe(pre+"/rel/window", func() int64 { return int64(n.RelPending()) })
+	}
+	if n.fab != nil {
+		for i, q := range n.fab.shards {
+			q := q
+			sa.Probe(fmt.Sprintf("%s/fabric/shard%d/depth", pre, i),
+				func() int64 { return int64(n.queueLen(q)) })
+		}
+	}
 }
 
 func newMirrorQueue(name string, cfg Config) mirrorQueue {

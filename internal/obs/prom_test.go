@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"alpusim/internal/sim"
 	"alpusim/internal/telemetry"
 )
 
@@ -173,6 +174,42 @@ alpusim_nic0_fabric_shard1_peak_len 517
 `
 	if b.String() != want {
 		t.Errorf("match-fabric exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// The time-series exposition: the gauge pairs Sampler.Publish emits for
+// each series (ts/<name>/last, ts/<name>/peak) must surface as
+// alpusim_ts_* gauge families, byte-exactly — the waterline endpoints
+// dashboards scrape between full /timeseries pulls.
+func TestWritePromSeriesGauges(t *testing.T) {
+	sa := telemetry.NewSampler(0, 8)
+	var depth, window int64
+	sa.Probe("nic0/posted/depth", func() int64 { return depth })
+	sa.Probe("nic0/rel/window", func() int64 { return window })
+	for i, v := range []int64{3, 11, 7} {
+		depth, window = v, v*2
+		// Finalize pads to the growing canonical count each round — an
+		// engine-free way to drive samples through the probes.
+		sa.Finalize(telemetry.DefaultSampleInterval * sim.Time(i+1))
+	}
+
+	r := telemetry.NewRegistry()
+	sa.Publish(r)
+	var b bytes.Buffer
+	if err := WriteProm(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE alpusim_ts_nic0_posted_depth_last gauge
+alpusim_ts_nic0_posted_depth_last 7
+# TYPE alpusim_ts_nic0_posted_depth_peak gauge
+alpusim_ts_nic0_posted_depth_peak 11
+# TYPE alpusim_ts_nic0_rel_window_last gauge
+alpusim_ts_nic0_rel_window_last 14
+# TYPE alpusim_ts_nic0_rel_window_peak gauge
+alpusim_ts_nic0_rel_window_peak 22
+`
+	if b.String() != want {
+		t.Errorf("series-gauge exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
 	}
 }
 

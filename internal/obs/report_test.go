@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+
+	"alpusim/internal/sim"
+	"alpusim/internal/telemetry"
+)
+
+// reportFixture builds a report with every section populated.
+func reportFixture() *Report {
+	sa := telemetry.NewSampler(10, 8)
+	var depth int64
+	sa.Probe("nic0/posted/depth", func() int64 { return depth })
+	for _, v := range []int64{1, 4, 2} {
+		depth = v
+		// Drive samples directly through the probe path via Finalize's
+		// padding: simplest deterministic way to push without an engine.
+		sa.Finalize(sim.Time(10 * (depth + 1)))
+	}
+
+	ph := telemetry.NewPhases()
+	// One complete message: all eight stamps, 10 ps apart.
+	for s := 0; s < 8; s++ {
+		ph.Stamp(7, telemetry.Stamp(s), sim.Time(s*10))
+	}
+
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("nic0/match/latency")
+	for i := 1; i <= 100; i++ {
+		h.Add(i)
+	}
+
+	return &Report{
+		Title:    "test run",
+		Series:   sa,
+		Phases:   ph.Totals(),
+		Snapshot: reg.Snapshot(),
+		Causal: []NamedCausal{{
+			Label: "alpu-128 q=96",
+			Report: telemetry.CausalReport{
+				Messages:     12,
+				CriticalPath: 123_000,
+				Blame: []telemetry.CausalBlame{
+					{Resource: "wire", Dur: 100_000, Permille: 813},
+					{Resource: "alpu<search>", Dur: 23_000, Permille: 187},
+				},
+			},
+		}},
+	}
+}
+
+// TestReportHTML checks every section renders, the output is standalone
+// (no script tags, no external references), and the bytes are stable
+// across renders.
+func TestReportHTML(t *testing.T) {
+	r := reportFixture()
+	doc := string(r.HTML())
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"test run",
+		"Occupancy waterlines",
+		"nic0/posted/depth",
+		"<polyline",
+		"Pipeline phase breakdown",
+		"Critical-path blame",
+		"alpu-128 q=96",
+		"alpu&lt;search&gt;", // HTML-escaped resource name
+		"81.3%",
+		"Latency quantiles",
+		"nic0/match/latency",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	for _, forbid := range []string{"<script", "http://", "https://", "src="} {
+		if strings.Contains(doc, forbid) {
+			t.Errorf("report is not self-contained: found %q", forbid)
+		}
+	}
+	if doc2 := string(r.HTML()); doc2 != doc {
+		t.Error("report bytes not stable across renders")
+	}
+}
+
+// TestReportEmptySections: a zero report still renders a valid shell.
+func TestReportEmptySections(t *testing.T) {
+	r := &Report{}
+	doc := string(r.HTML())
+	if !strings.Contains(doc, "alpusim run") {
+		t.Errorf("default title missing:\n%s", doc)
+	}
+	for _, absent := range []string{"waterlines", "phase breakdown", "blame", "quantiles"} {
+		if strings.Contains(doc, absent) {
+			t.Errorf("empty report renders section %q", absent)
+		}
+	}
+	if ts := r.TimeseriesJSON(); !bytes.Contains(ts, []byte(`"series": []`)) {
+		t.Errorf("empty timeseries JSON: %s", ts)
+	}
+}
+
+// TestServerReportEndpoints: /report and /timeseries 503 until
+// SetReport, then serve the published bytes with the right content
+// types.
+func TestServerReportEndpoints(t *testing.T) {
+	s := NewServer(Options{})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, resp.Header.Get("Content-Type"), buf.String()
+	}
+
+	if code, _, _ := get("/report"); code != http.StatusServiceUnavailable {
+		t.Errorf("/report before SetReport: %d, want 503", code)
+	}
+	if code, _, _ := get("/timeseries"); code != http.StatusServiceUnavailable {
+		t.Errorf("/timeseries before SetReport: %d, want 503", code)
+	}
+
+	r := reportFixture()
+	s.SetReport(r.HTML(), r.TimeseriesJSON())
+
+	code, ctype, body := get("/report")
+	if code != http.StatusOK || !strings.Contains(ctype, "text/html") {
+		t.Errorf("/report: %d %s", code, ctype)
+	}
+	if !strings.Contains(body, "Occupancy waterlines") {
+		t.Error("/report body is not the published report")
+	}
+	code, ctype, body = get("/timeseries")
+	if code != http.StatusOK || !strings.Contains(ctype, "application/json") {
+		t.Errorf("/timeseries: %d %s", code, ctype)
+	}
+	if !strings.Contains(body, "nic0/posted/depth") {
+		t.Error("/timeseries body is not the published dump")
+	}
+
+	if code, _, body := get("/"); code != http.StatusOK ||
+		!strings.Contains(body, "/report") || !strings.Contains(body, "/timeseries") {
+		t.Errorf("index does not list the report endpoints:\n%s", body)
+	}
+}

@@ -39,9 +39,11 @@ type Server struct {
 	opts  Options
 	start time.Time
 
-	mu       sync.Mutex
-	merged   telemetry.Snapshot
-	critpath []namedCritPath
+	mu         sync.Mutex
+	merged     telemetry.Snapshot
+	critpath   []namedCritPath
+	reportHTML []byte
+	tsJSON     []byte
 
 	ln  net.Listener
 	srv *http.Server
@@ -86,6 +88,17 @@ func (s *Server) AddCritPath(label string, rep telemetry.CausalReport) {
 	s.mu.Unlock()
 }
 
+// SetReport publishes a finished run's rendered report: the /report
+// HTML document and the /timeseries JSON dump. Until it is called both
+// endpoints answer 503, the signal that the run is still in flight.
+// Safe from any goroutine.
+func (s *Server) SetReport(html, timeseries []byte) {
+	s.mu.Lock()
+	s.reportHTML = html
+	s.tsJSON = timeseries
+	s.mu.Unlock()
+}
+
 // Start listens on addr (":0" picks a free port) and serves in the
 // background. It returns the bound address.
 func (s *Server) Start(addr string) (string, error) {
@@ -99,6 +112,8 @@ func (s *Server) Start(addr string) (string, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/progress", s.handleProgress)
 	mux.HandleFunc("/critpath", s.handleCritPath)
+	mux.HandleFunc("/report", s.handleReport)
+	mux.HandleFunc("/timeseries", s.handleTimeseries)
 	s.ln = ln
 	s.srv = &http.Server{Handler: mux}
 	go func() {
@@ -140,7 +155,33 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"  /healthz   liveness (JSON)\n"+
 		"  /metrics   Prometheus text exposition\n"+
 		"  /progress  sweep completion (JSON; ?stream=1 or Accept: text/event-stream for SSE)\n"+
-		"  /critpath  causal critical-path reports of finished worlds (JSON)\n")
+		"  /critpath  causal critical-path reports of finished worlds (JSON)\n"+
+		"  /report    self-contained HTML run report (503 until the run finishes)\n"+
+		"  /timeseries  simulated-time series dump (JSON; 503 until the run finishes)\n")
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	doc := s.reportHTML
+	s.mu.Unlock()
+	if doc == nil {
+		http.Error(w, "report not ready: run still in flight", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(doc)
+}
+
+func (s *Server) handleTimeseries(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	doc := s.tsJSON
+	s.mu.Unlock()
+	if doc == nil {
+		http.Error(w, "time series not ready: run still in flight", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(doc)
 }
 
 func (s *Server) handleCritPath(w http.ResponseWriter, _ *http.Request) {

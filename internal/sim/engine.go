@@ -27,12 +27,13 @@ const maxTime = Time(math.MaxInt64)
 const deliveryClass = uint64(1) << 32
 
 type event struct {
-	at  Time
-	k1  uint64 // 0 for ordinary events; deliveryClass|src for deliveries
-	k2  uint64 // schedule seq (ordinary) or per-source delivery seq
-	fn  func()
-	id  EventID // non-zero only for cancellable events
-	idx int     // index in heap, -1 when popped or cancelled
+	at   Time
+	k1   uint64 // 0 for ordinary events; deliveryClass|src for deliveries
+	k2   uint64 // schedule seq (ordinary) or per-source delivery seq
+	fn   func()
+	id   EventID // non-zero only for cancellable events
+	idx  int     // index in heap, -1 when popped or cancelled
+	poll bool    // housekeeping observer, excluded from LastModel
 }
 
 func eventLess(a, b *event) bool {
@@ -110,6 +111,13 @@ type Engine struct {
 	// a drained world running forever.
 	pollers int
 
+	// lastModel is the timestamp of the latest executed event that models
+	// the world (every event except poll-class housekeeping). It is a pure
+	// function of the modelled event set, so it is identical for the same
+	// world at any partitioning — the property the time-series sampler
+	// relies on to pad every shard to the same canonical sample count.
+	lastModel Time
+
 	procs []*Process
 }
 
@@ -158,7 +166,7 @@ func (e *Engine) push(t Time, fn func()) *event {
 	}
 	ev := e.alloc()
 	e.seq++
-	ev.at, ev.k1, ev.k2, ev.fn, ev.id = t, 0, e.seq, fn, 0
+	ev.at, ev.k1, ev.k2, ev.fn, ev.id, ev.poll = t, 0, e.seq, fn, 0, false
 	if e.ladder != nil {
 		e.ladder.push(ev)
 	} else {
@@ -200,7 +208,7 @@ func (e *Engine) AtDelivery(t Time, src uint32, dseq uint64, fn func()) {
 		panic(fmt.Sprintf("sim: delivery into the past: %v < %v", t, e.now))
 	}
 	ev := e.alloc()
-	ev.at, ev.k1, ev.k2, ev.fn, ev.id = t, deliveryClass|uint64(src), dseq, fn, 0
+	ev.at, ev.k1, ev.k2, ev.fn, ev.id, ev.poll = t, deliveryClass|uint64(src), dseq, fn, 0, false
 	if e.ladder != nil {
 		e.ladder.push(ev)
 	} else {
@@ -292,12 +300,50 @@ func (e *Engine) ParkedProcs() int {
 // Alive() > 0; the bookkeeping lives in the wrapper closure, so the
 // Step/Schedule hot path is untouched.
 func (e *Engine) SchedulePoll(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v at %v", d, e.now))
+	}
 	e.pollers++
-	e.Schedule(d, func() {
+	ev := e.push(e.now+d, func() {
 		e.pollers--
 		fn()
 	})
+	ev.poll = true
 }
+
+// AtPollFront schedules a front-class poll at absolute time t (>= Now): it
+// carries the zero tie-break key (k1 = 0, k2 = 0), sorting before every
+// ordinary event (k2 >= 1) and every delivery (k1 >= deliveryClass) at the
+// same instant, in both event kernels. A front poll therefore observes the
+// world exactly as left by the events strictly before t — a state that does
+// not depend on how the world is partitioned. At most one front poll may be
+// pending per engine at any one instant (two would tie ambiguously); the
+// time-series sampler, its only client, re-arms a single chain of them.
+// Front polls are housekeeping: counted in pollers, excluded from Alive and
+// from LastModel.
+func (e *Engine) AtPollFront(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: front poll into the past: %v < %v", t, e.now))
+	}
+	ev := e.alloc()
+	e.pollers++
+	ev.at, ev.k1, ev.k2, ev.id, ev.poll = t, 0, 0, 0, true
+	ev.fn = func() {
+		e.pollers--
+		fn()
+	}
+	if e.ladder != nil {
+		e.ladder.push(ev)
+	} else {
+		heap.Push(&e.events, ev)
+	}
+}
+
+// LastModel reports the timestamp of the latest executed modelled event
+// (polls excluded). For one world split across per-partition engines, the
+// maximum of LastModel over the engines is the world's end-of-model time,
+// identical at any -par N.
+func (e *Engine) LastModel() Time { return e.lastModel }
 
 // Alive reports the pending events that represent modelled work —
 // Pending minus outstanding pollers. When it reaches zero nothing can
@@ -326,6 +372,9 @@ func (e *Engine) Step() bool {
 		panic("sim: event queue corrupted")
 	}
 	e.now = ev.at
+	if !ev.poll {
+		e.lastModel = ev.at
+	}
 	e.executed++
 	// Recycle before running fn: fn may schedule new events, which can
 	// legitimately reuse this object, while the local fn value stays valid.

@@ -1,0 +1,320 @@
+package telemetry
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"alpusim/internal/sim"
+)
+
+// Sim-time profiling: the tracer's span stream refolded as a pprof
+// profile weighted by simulated time, so the standard Go toolchain
+// (`go tool pprof -top`, `-flamegraph`, `-web`) reads the simulation
+// the way it reads a CPU profile — except the "CPU" is the modelled
+// hardware and the seconds are simulated nanoseconds.
+//
+// Each 'X' span becomes a frame; nesting within a (pid, tid) track is
+// recovered from timestamps (a span encloses the spans it contains),
+// and every stack is weighted by its leaf's self time — the span's
+// duration minus its children's. Stacks are rooted at the track's
+// process and thread display names, so the flamegraph reads
+// world -> nic -> firmware/alpu -> phase.
+//
+// The encoder writes the profile.proto wire format by hand (varint +
+// length-delimited fields only), gzipped with a zeroed header, so the
+// bytes are a pure function of the span stream: identical at any
+// -par/-jobs, and diffable in CI.
+
+// stackSample is one folded stack: frames root-first, weight in
+// simulated picoseconds of self time.
+type stackSample struct {
+	frames []string
+	ps     sim.Time
+}
+
+// openSpan is a stack entry during the per-track nesting walk.
+type openSpan struct {
+	end    sim.Time
+	self   sim.Time
+	frames []string
+}
+
+// simStacks folds every 'X' span of the tracers into self-time-weighted
+// stacks, merged by identical frame chains and sorted by chain — the
+// canonical order the encoder serialises. With several tracers each is
+// rooted under a "world<idx>" frame (argument order, as in WriteTrace).
+func simStacks(tracers ...*Tracer) []stackSample {
+	type key struct{ pid, tid int }
+	agg := make(map[string]*stackSample)
+	for idx, t := range tracers {
+		if t == nil {
+			continue
+		}
+		procs := make(map[int]string)
+		threads := make(map[key]string)
+		for _, n := range t.names {
+			if n.process {
+				procs[n.pid] = n.name
+			} else {
+				threads[key{n.pid, n.tid}] = n.name
+			}
+		}
+		tracks := make(map[key][]tevent)
+		for i := 0; i < len(t.events); i++ {
+			e := t.eventAt(i)
+			if e.ph == 'X' {
+				k := key{e.pid, e.tid}
+				tracks[k] = append(tracks[k], e)
+			}
+		}
+		var keys []key
+		for k := range tracks {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].pid != keys[j].pid {
+				return keys[i].pid < keys[j].pid
+			}
+			return keys[i].tid < keys[j].tid
+		})
+		for _, k := range keys {
+			var root []string
+			if len(tracers) > 1 {
+				root = append(root, fmt.Sprintf("world%d", idx))
+			}
+			pname := procs[k.pid]
+			if pname == "" {
+				pname = fmt.Sprintf("pid%d", k.pid)
+			}
+			tname := threads[k]
+			if tname == "" {
+				tname = fmt.Sprintf("tid%d", k.tid)
+			}
+			root = append(root, pname, tname)
+			foldTrack(tracks[k], root, agg)
+		}
+	}
+	out := make([]stackSample, 0, len(agg))
+	for _, s := range agg {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].frames, ";") < strings.Join(out[j].frames, ";")
+	})
+	return out
+}
+
+// foldTrack recovers span nesting on one (pid, tid) track and
+// accumulates self times into agg. Sorting by (start asc, duration
+// desc) puts each enclosing span before the spans it contains, so a
+// simple stack walk rebuilds the call tree.
+func foldTrack(spans []tevent, root []string, agg map[string]*stackSample) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].ts != spans[j].ts {
+			return spans[i].ts < spans[j].ts
+		}
+		return spans[i].dur > spans[j].dur
+	})
+	var stack []openSpan
+	emit := func(o openSpan) {
+		if o.self <= 0 {
+			return
+		}
+		k := strings.Join(o.frames, ";")
+		if s, ok := agg[k]; ok {
+			s.ps += o.self
+		} else {
+			agg[k] = &stackSample{frames: o.frames, ps: o.self}
+		}
+	}
+	for _, sp := range spans {
+		for len(stack) > 0 && stack[len(stack)-1].end <= sp.ts {
+			emit(stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+		}
+		parent := root
+		if len(stack) > 0 {
+			stack[len(stack)-1].self -= sp.dur
+			parent = stack[len(stack)-1].frames
+		}
+		frames := make([]string, len(parent)+1)
+		copy(frames, parent)
+		frames[len(parent)] = sp.name
+		stack = append(stack, openSpan{end: sp.ts + sp.dur, self: sp.dur, frames: frames})
+	}
+	for len(stack) > 0 {
+		emit(stack[len(stack)-1])
+		stack = stack[:len(stack)-1]
+	}
+}
+
+// pbuf is a minimal protobuf wire-format writer: varints and
+// length-delimited fields are all profile.proto needs.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *pbuf) tag(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+// field emits a varint-typed field, skipping proto3 zero defaults.
+func (p *pbuf) field(f int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.tag(f, 0)
+	p.varint(v)
+}
+
+// bytesField emits a length-delimited field (submessage or string).
+func (p *pbuf) bytesField(f int, b []byte) {
+	p.tag(f, 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+// packed emits a packed repeated varint field.
+func (p *pbuf) packed(f int, vs []uint64) {
+	var inner pbuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.bytesField(f, inner.b)
+}
+
+// profile.proto field numbers (google.golang.org/protobuf definition of
+// perftools.profiles.Profile and friends).
+const (
+	profSampleType    = 1
+	profSample        = 2
+	profMapping       = 3
+	profLocation      = 4
+	profFunction      = 5
+	profStringTable   = 6
+	profDurationNanos = 10
+	profPeriodType    = 11
+	profPeriod        = 12
+
+	vtType = 1
+	vtUnit = 2
+
+	sampleLocationID = 1
+	sampleValue      = 2
+
+	mapID       = 1
+	mapFilename = 5
+
+	locID        = 1
+	locMappingID = 2
+	locLine      = 4
+
+	lineFunctionID = 1
+
+	funcID   = 1
+	funcName = 2
+)
+
+// WriteSimProfile folds the tracers' spans into a gzipped
+// pprof-compatible profile with one sample type, simtime/nanoseconds.
+// The bytes are deterministic: same spans, same profile, at any
+// parallelism. An empty span stream still yields a valid (empty)
+// profile.
+func WriteSimProfile(w io.Writer, tracers ...*Tracer) error {
+	stacks := simStacks(tracers...)
+
+	strtab := []string{""}
+	strIdx := map[string]uint64{"": 0}
+	intern := func(s string) uint64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := uint64(len(strtab))
+		strtab = append(strtab, s)
+		strIdx[s] = i
+		return i
+	}
+
+	var prof pbuf
+
+	// sample_type + period_type: simtime in nanoseconds.
+	var vt pbuf
+	vt.field(vtType, intern("simtime"))
+	vt.field(vtUnit, intern("nanoseconds"))
+	prof.bytesField(profSampleType, vt.b)
+
+	// One synthetic function+location per distinct frame name, ids
+	// assigned in order of first appearance over the sorted stacks.
+	locIdx := map[string]uint64{}
+	var locs []string
+	locOf := func(frame string) uint64 {
+		if id, ok := locIdx[frame]; ok {
+			return id
+		}
+		id := uint64(len(locs) + 1)
+		locIdx[frame] = id
+		locs = append(locs, frame)
+		return id
+	}
+	for _, s := range stacks {
+		var sm pbuf
+		ids := make([]uint64, len(s.frames))
+		for i, f := range s.frames {
+			// pprof stacks are leaf-first.
+			ids[len(s.frames)-1-i] = locOf(f)
+		}
+		sm.packed(sampleLocationID, ids)
+		sm.packed(sampleValue, []uint64{uint64((s.ps + 500) / 1000)})
+		prof.bytesField(profSample, sm.b)
+	}
+
+	var mp pbuf
+	mp.field(mapID, 1)
+	mp.field(mapFilename, intern("[simulated]"))
+	prof.bytesField(profMapping, mp.b)
+
+	for i, frame := range locs {
+		var fn pbuf
+		fn.field(funcID, uint64(i+1))
+		fn.field(funcName, intern(frame))
+		prof.bytesField(profFunction, fn.b)
+
+		var ln pbuf
+		ln.field(lineFunctionID, uint64(i+1))
+		var lo pbuf
+		lo.field(locID, uint64(i+1))
+		lo.field(locMappingID, 1)
+		lo.bytesField(locLine, ln.b)
+		prof.bytesField(profLocation, lo.b)
+	}
+
+	for _, s := range strtab {
+		prof.bytesField(profStringTable, []byte(s))
+	}
+
+	var total sim.Time
+	for _, s := range stacks {
+		total += s.ps
+	}
+	prof.field(profDurationNanos, uint64((total+500)/1000))
+	var pt pbuf
+	pt.field(vtType, strIdx["simtime"])
+	pt.field(vtUnit, strIdx["nanoseconds"])
+	prof.bytesField(profPeriodType, pt.b)
+	prof.field(profPeriod, 1)
+
+	// Gzip with an all-zero header (no name, no mtime) so the output is
+	// byte-stable.
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(prof.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}

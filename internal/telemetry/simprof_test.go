@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"reflect"
+	"testing"
+
+	"alpusim/internal/sim"
+)
+
+// TestSimStacksNesting pins the fold: nested spans become stacks rooted
+// at the track's process/thread names, weighted by self time (duration
+// minus children).
+func TestSimStacksNesting(t *testing.T) {
+	tr := NewTracer()
+	tr.NameProcess(1, "nic0")
+	tr.NameThread(1, 2, "firmware")
+	// outer [0,100) contains child [10,40) which contains leaf [20,25).
+	tr.Span(1, 2, "fw", "outer", 0, 100)
+	tr.Span(1, 2, "fw", "child", 10, 40)
+	tr.Span(1, 2, "fw", "leaf", 20, 25)
+	// A sibling span after outer on the same track.
+	tr.Span(1, 2, "fw", "late", 150, 160)
+
+	got := simStacks(tr)
+	want := []stackSample{
+		{frames: []string{"nic0", "firmware", "late"}, ps: 10},
+		{frames: []string{"nic0", "firmware", "outer"}, ps: 70},
+		{frames: []string{"nic0", "firmware", "outer", "child"}, ps: 25},
+		{frames: []string{"nic0", "firmware", "outer", "child", "leaf"}, ps: 5},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("stacks:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSimStacksMergesRepeats: repeated identical stacks accumulate into
+// one sample.
+func TestSimStacksMergesRepeats(t *testing.T) {
+	tr := NewTracer()
+	for i := sim.Time(0); i < 5; i++ {
+		tr.Span(3, 0, "c", "work", i*1000, i*1000+10)
+	}
+	got := simStacks(tr)
+	if len(got) != 1 {
+		t.Fatalf("stacks = %+v, want one merged", got)
+	}
+	if got[0].ps != 50 {
+		t.Errorf("merged self time = %d, want 50", got[0].ps)
+	}
+	if want := []string{"pid3", "tid0", "work"}; !reflect.DeepEqual(got[0].frames, want) {
+		t.Errorf("frames = %v, want %v (fallback track names)", got[0].frames, want)
+	}
+}
+
+// pprofDoc is the decoded skeleton of a profile.proto message — just
+// enough structure to verify what go tool pprof would read.
+type pprofDoc struct {
+	strings   []string
+	samples   [][]uint64 // location ids, leaf first
+	values    []int64
+	functions map[uint64]uint64 // id -> name string index
+	locations map[uint64]uint64 // id -> function id (single line)
+}
+
+func parseVarint(b []byte) (uint64, []byte) {
+	var v uint64
+	for i := 0; ; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, b[i+1:]
+		}
+	}
+}
+
+func parseFields(b []byte, fn func(field int, wire int, v uint64, sub []byte)) {
+	for len(b) > 0 {
+		var key uint64
+		key, b = parseVarint(b)
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case 0:
+			var v uint64
+			v, b = parseVarint(b)
+			fn(field, wire, v, nil)
+		case 2:
+			var n uint64
+			n, b = parseVarint(b)
+			fn(field, wire, 0, b[:n])
+			b = b[n:]
+		default:
+			panic("unexpected wire type")
+		}
+	}
+}
+
+func parsePacked(b []byte) []uint64 {
+	var out []uint64
+	for len(b) > 0 {
+		var v uint64
+		v, b = parseVarint(b)
+		out = append(out, v)
+	}
+	return out
+}
+
+func decodeProfile(t *testing.T, gzipped []byte) pprofDoc {
+	t.Helper()
+	zr, err := gzip.NewReader(bytes.NewReader(gzipped))
+	if err != nil {
+		t.Fatalf("profile is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gunzip: %v", err)
+	}
+	doc := pprofDoc{functions: map[uint64]uint64{}, locations: map[uint64]uint64{}}
+	parseFields(raw, func(field, wire int, v uint64, sub []byte) {
+		switch field {
+		case profStringTable:
+			doc.strings = append(doc.strings, string(sub))
+		case profSample:
+			parseFields(sub, func(f, w int, v uint64, sb []byte) {
+				switch f {
+				case sampleLocationID:
+					doc.samples = append(doc.samples, parsePacked(sb))
+				case sampleValue:
+					vals := parsePacked(sb)
+					doc.values = append(doc.values, int64(vals[0]))
+				}
+			})
+		case profFunction:
+			var id, name uint64
+			parseFields(sub, func(f, w int, v uint64, sb []byte) {
+				switch f {
+				case funcID:
+					id = v
+				case funcName:
+					name = v
+				}
+			})
+			doc.functions[id] = name
+		case profLocation:
+			var id, fnID uint64
+			parseFields(sub, func(f, w int, v uint64, sb []byte) {
+				switch f {
+				case locID:
+					id = v
+				case locLine:
+					parseFields(sb, func(lf, lw int, lv uint64, lsb []byte) {
+						if lf == lineFunctionID {
+							fnID = lv
+						}
+					})
+				}
+			})
+			doc.locations[id] = fnID
+		}
+	})
+	return doc
+}
+
+// TestWriteSimProfileRoundTrip encodes a profile and decodes it with an
+// independent minimal parser: stacks come back leaf-first with the
+// right names and nanosecond self-time values, and the bytes are
+// deterministic across encodes.
+func TestWriteSimProfileRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	tr.NameProcess(0, "nic0")
+	tr.NameThread(0, 1, "alpu")
+	tr.Span(0, 1, "m", "search", 0, 4000) // 4 ns
+	tr.Span(0, 1, "m", "hit", 1000, 2000) // 1 ns nested
+
+	var buf bytes.Buffer
+	if err := WriteSimProfile(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeProfile(t, buf.Bytes())
+
+	if len(doc.strings) == 0 || doc.strings[0] != "" {
+		t.Fatalf("string table must start with empty string: %q", doc.strings)
+	}
+	stackName := func(locIDs []uint64) []string {
+		var names []string
+		for _, id := range locIDs {
+			names = append(names, doc.strings[doc.functions[doc.locations[id]]])
+		}
+		return names
+	}
+	if len(doc.samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(doc.samples))
+	}
+	// Sorted stack order: nic0;alpu;search then nic0;alpu;search;hit —
+	// leaf-first in the encoding.
+	if got, want := stackName(doc.samples[0]), []string{"search", "alpu", "nic0"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("sample 0 stack %v, want %v", got, want)
+	}
+	if got, want := stackName(doc.samples[1]), []string{"hit", "search", "alpu", "nic0"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("sample 1 stack %v, want %v", got, want)
+	}
+	// search self = 4000 - 1000 = 3000 ps = 3 ns; hit = 1 ns.
+	if doc.values[0] != 3 || doc.values[1] != 1 {
+		t.Errorf("values = %v, want [3 1]", doc.values)
+	}
+
+	var buf2 bytes.Buffer
+	if err := WriteSimProfile(&buf2, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("profile bytes not deterministic across encodes")
+	}
+}
+
+// TestWriteSimProfileEmpty: no spans still yields a decodable profile.
+func TestWriteSimProfileEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSimProfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeProfile(t, buf.Bytes())
+	if len(doc.samples) != 0 {
+		t.Errorf("empty profile has %d samples", len(doc.samples))
+	}
+}

@@ -59,6 +59,13 @@ func WithPhases(p *telemetry.Phases) Option {
 	return func(cfg *mpi.Config) { cfg.Phases = p }
 }
 
+// WithSeries samples per-NIC time series (queue depths, FIFO occupancy,
+// go-back-N window, fabric balance, match-latency p99) into the given
+// sampler at its interval (one sampler per world, like the registry).
+func WithSeries(s *telemetry.Sampler) Option {
+	return func(cfg *mpi.Config) { cfg.Series = s }
+}
+
 // WithPartitions runs the workload's world as a conservative parallel
 // simulation over n per-partition engines (see mpi.Config.Partitions);
 // n <= 0 keeps the serial engine.
